@@ -1,0 +1,27 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5.
+
+A1: gNRU generation length — adaptive (paper) vs fixed.
+A2: spill tolerance delta — adaptive classes A-D (paper) vs fixed delta_B.
+A3: STRA counter width — 4/6/8 bits (paper: 6).
+"""
+
+from repro.analysis.experiments import (
+    ablation_gnru_generation,
+    ablation_spill_delta,
+    ablation_stra_width,
+)
+
+
+def test_ablation_gnru_generation(figure_runner):
+    figure = figure_runner(ablation_gnru_generation)
+    assert figure.values
+
+
+def test_ablation_spill_delta(figure_runner):
+    figure = figure_runner(ablation_spill_delta)
+    assert figure.values
+
+
+def test_ablation_stra_width(figure_runner):
+    figure = figure_runner(ablation_stra_width)
+    assert figure.values

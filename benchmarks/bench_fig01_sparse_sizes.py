@@ -1,0 +1,13 @@
+"""Fig. 1: undersized baseline sparse directories vs the 2x directory.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig01_sparse_sizes`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig01_sparse_sizes
+
+
+def test_fig01_sparse_sizes(figure_runner):
+    figure = figure_runner(fig01_sparse_sizes)
+    assert figure.values

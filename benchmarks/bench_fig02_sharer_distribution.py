@@ -1,0 +1,13 @@
+"""Fig. 2: maximum-sharer-count distribution of allocated LLC blocks.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig02_sharer_distribution`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig02_sharer_distribution
+
+
+def test_fig02_sharer_distribution(figure_runner):
+    figure = figure_runner(fig02_sharer_distribution)
+    assert figure.values

@@ -1,0 +1,17 @@
+"""Fig. 3: sparse directories dedicated to tracking shared blocks only.
+
+Both the set-associative and the four-way skew-associative (Z-cache)
+variants, at 1/16x through 1/128x, normalized to the 2x baseline.
+"""
+
+from repro.analysis.experiments import fig03_shared_only
+
+
+def test_fig03_shared_only_set_assoc(figure_runner):
+    figure = figure_runner(fig03_shared_only, zcache=False)
+    assert figure.values
+
+
+def test_fig03_shared_only_zcache(figure_runner):
+    figure = figure_runner(fig03_shared_only, zcache=True)
+    assert figure.values

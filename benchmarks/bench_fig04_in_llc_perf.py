@@ -1,0 +1,13 @@
+"""Fig. 4: in-LLC coherence tracking (tag-extended vs data-borrowed).
+
+Regenerates the experiment via ``repro.analysis.experiments.fig04_in_llc_performance`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig04_in_llc_performance
+
+
+def test_fig04_in_llc_perf(figure_runner):
+    figure = figure_runner(fig04_in_llc_performance)
+    assert figure.values

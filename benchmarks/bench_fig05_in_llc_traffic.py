@@ -1,0 +1,13 @@
+"""Fig. 5: interconnect traffic of in-LLC tracking by message class.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig05_in_llc_traffic`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig05_in_llc_traffic
+
+
+def test_fig05_in_llc_traffic(figure_runner):
+    figure = figure_runner(fig05_in_llc_traffic)
+    assert figure.values

@@ -1,0 +1,13 @@
+"""Fig. 6: LLC accesses whose critical path lengthens to three hops.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig06_lengthened_accesses`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig06_lengthened_accesses
+
+
+def test_fig06_lengthened_accesses(figure_runner):
+    figure = figure_runner(fig06_lengthened_accesses)
+    assert figure.values

@@ -1,0 +1,13 @@
+"""Fig. 7: allocated LLC blocks experiencing lengthened accesses.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig07_lengthened_blocks`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig07_lengthened_blocks
+
+
+def test_fig07_lengthened_blocks(figure_runner):
+    figure = figure_runner(fig07_lengthened_blocks)
+    assert figure.values

@@ -1,0 +1,13 @@
+"""Fig. 8: STRA-category distribution of non-zero-STRA blocks.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig08_stra_blocks`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig08_stra_blocks
+
+
+def test_fig08_stra_blocks(figure_runner):
+    figure = figure_runner(fig08_stra_blocks)
+    assert figure.values

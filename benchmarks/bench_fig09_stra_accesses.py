@@ -1,0 +1,13 @@
+"""Fig. 9: STRA-category distribution of offending accesses.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig09_stra_accesses`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig09_stra_accesses
+
+
+def test_fig09_stra_accesses(figure_runner):
+    figure = figure_runner(fig09_stra_accesses)
+    assert figure.values

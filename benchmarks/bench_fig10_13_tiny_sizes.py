@@ -1,0 +1,23 @@
+"""Figs. 10-13: tiny directory performance at 1/32x .. 1/256x.
+
+Each size is evaluated with the three policies the paper ablates:
+DSTRA, DSTRA+gNRU, and DSTRA+gNRU+DynSpill, normalized to the 2x
+sparse baseline.
+"""
+
+import pytest
+
+from repro.analysis.experiments import tiny_directory_performance
+
+SIZES = [
+    pytest.param(1 / 32, id="fig10_tiny_1_32"),
+    pytest.param(1 / 64, id="fig11_tiny_1_64"),
+    pytest.param(1 / 128, id="fig12_tiny_1_128"),
+    pytest.param(1 / 256, id="fig13_tiny_1_256"),
+]
+
+
+@pytest.mark.parametrize("ratio", SIZES)
+def test_tiny_directory_size(figure_runner, ratio):
+    figure = figure_runner(tiny_directory_performance, ratio)
+    assert figure.values

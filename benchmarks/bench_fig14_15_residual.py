@@ -1,0 +1,21 @@
+"""Figs. 14-15: residual lengthened accesses under the tiny directory.
+
+The percentage of LLC accesses that still take a 3-hop critical path at
+the two extreme tiny-directory sizes (1/32x and 1/256x), for the three
+policies.
+"""
+
+import pytest
+
+from repro.analysis.experiments import tiny_residual_lengthened
+
+SIZES = [
+    pytest.param(1 / 32, id="fig14_residual_1_32"),
+    pytest.param(1 / 256, id="fig15_residual_1_256"),
+]
+
+
+@pytest.mark.parametrize("ratio", SIZES)
+def test_residual_lengthened(figure_runner, ratio):
+    figure = figure_runner(tiny_residual_lengthened, ratio)
+    assert figure.values

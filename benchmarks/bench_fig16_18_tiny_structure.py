@@ -1,0 +1,22 @@
+"""Figs. 16-18: tiny-directory structural metrics.
+
+Fig. 16: entry hits under gNRU normalized to DSTRA.
+Fig. 17: allocations under gNRU normalized to DSTRA.
+Fig. 18: hits per allocation under gNRU.
+"""
+
+import pytest
+
+from repro.analysis.experiments import tiny_structure_metric
+
+METRICS = [
+    pytest.param("hits", id="fig16_hits"),
+    pytest.param("allocations", id="fig17_allocations"),
+    pytest.param("hits_per_alloc", id="fig18_hits_per_alloc"),
+]
+
+
+@pytest.mark.parametrize("metric", METRICS)
+def test_tiny_structure_metric(figure_runner, metric):
+    figure = figure_runner(tiny_structure_metric, metric)
+    assert figure.values

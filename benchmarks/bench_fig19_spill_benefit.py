@@ -1,0 +1,13 @@
+"""Fig. 19: LLC accesses saved from lengthening by spilled entries.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig19_spill_benefit`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig19_spill_benefit
+
+
+def test_fig19_spill_benefit(figure_runner):
+    figure = figure_runner(fig19_spill_benefit)
+    assert figure.values

@@ -1,0 +1,13 @@
+"""Fig. 20: LLC miss-rate increase under dynamic spilling.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig20_miss_rate_increase`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig20_miss_rate_increase
+
+
+def test_fig20_miss_rate(figure_runner):
+    figure = figure_runner(fig20_miss_rate_increase)
+    assert figure.values

@@ -1,0 +1,13 @@
+"""Fig. 21: execution cycles and LLC+directory energy across sizes.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig21_energy`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig21_energy
+
+
+def test_fig21_energy(figure_runner):
+    figure = figure_runner(fig21_energy)
+    assert figure.values

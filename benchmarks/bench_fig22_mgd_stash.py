@@ -1,0 +1,13 @@
+"""Fig. 22: multi-grain (MgD) and Stash directories vs the 2x baseline.
+
+Regenerates the experiment via ``repro.analysis.experiments.fig22_mgd_stash`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import fig22_mgd_stash
+
+
+def test_fig22_mgd_stash(figure_runner):
+    figure = figure_runner(fig22_mgd_stash)
+    assert figure.values

@@ -1,0 +1,13 @@
+"""Section V-A robustness: halved hierarchy with a 1/128x tiny directory.
+
+Regenerates the experiment via ``repro.analysis.experiments.halved_hierarchy`` at the
+``REPRO_SCALE`` scale and prints the paper-style table (run pytest with
+``-s`` to see it; EXPERIMENTS.md records the comparison).
+"""
+
+from repro.analysis.experiments import halved_hierarchy
+
+
+def test_halved_llc(figure_runner):
+    figure = figure_runner(halved_hierarchy)
+    assert figure.values

@@ -1,0 +1,14 @@
+"""§VI future direction: tiny directory for inter-socket coherence.
+
+Quantifies the paper's closing proposal on an 8-socket machine modelled
+at socket granularity (see repro/multisocket/).
+"""
+
+from repro.analysis.experiments import Figure
+from repro.multisocket.experiment import intersocket_directory_study
+
+
+def test_multisocket_directory_study(figure_runner):
+    figure = figure_runner(intersocket_directory_study)
+    assert isinstance(figure, Figure)
+    assert figure.average("tiny 1/32x") <= figure.average("sparse 1/32x")

@@ -1,0 +1,27 @@
+"""Benchmark harness support.
+
+Each ``bench_fig*.py`` regenerates one of the paper's figures at the
+scale selected by ``REPRO_SCALE`` (quick / default / full) and prints the
+figure's series as a text table; pytest-benchmark records the wall time.
+Results are cached under ``.repro_cache/`` so figures sharing runs (all
+normalized figures share the 2x baselines) do not recompute them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run an experiment function once and print its rendered table."""
+
+    def run(experiment, *args, **kwargs):
+        figure = benchmark.pedantic(
+            lambda: experiment(*args, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(figure.render())
+        return figure
+
+    return run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scenario: why commercial server workloads stress in-LLC tracking.
+
+The paper's SPECWeb/TPC traces share large code and data footprints
+across all cores, so plain in-LLC tracking (no sparse directory at all)
+lengthens a large fraction of their LLC accesses to three hops — with
+instruction fetches dominating. This script reproduces that analysis for
+a commercial and a scientific workload, then shows how the dynamic spill
+policy recovers the loss at a 1/256x tiny directory.
+
+Usage::
+
+    python examples/commercial_workload_analysis.py
+"""
+
+from repro import InLLCSpec, RunScale, SparseSpec, run_app
+from repro.interconnect.traffic import MessageClass
+
+APPS = ["SPECWeb-B", "314.mgrid"]
+
+
+def main() -> None:
+    scale = RunScale(num_cores=16, total_accesses=24_000, spill_window=96)
+    for app in APPS:
+        base = run_app(app, SparseSpec(ratio=2.0), scale)
+        inllc = run_app(app, InLLCSpec(), scale)
+        tiny = run_app(app, scale.tiny_spec(1 / 256, "gnru", spill=True), scale)
+
+        stats = inllc.stats
+        total = max(1, stats.llc_transactions)
+        print(f"=== {app} ===")
+        print(f"  in-LLC tracking vs sparse 2x: {inllc.normalized_cycles(base):.3f}x time")
+        print(
+            f"  lengthened LLC accesses: {stats.lengthened / total:6.1%} "
+            f"(code {stats.lengthened_code / total:.1%}, "
+            f"data {stats.lengthened_data / total:.1%})"
+        )
+        base_coh = base.stats.traffic.bytes_for(MessageClass.COHERENCE)
+        inllc_coh = stats.traffic.bytes_for(MessageClass.COHERENCE)
+        if base_coh:
+            print(f"  coherence traffic vs baseline: {inllc_coh / base_coh:.2f}x")
+        tstats = tiny.stats
+        print(
+            f"  tiny 1/256x +DynSpill: {tiny.normalized_cycles(base):.3f}x time, "
+            f"lengthened down to {tstats.lengthened_fraction:.1%}, "
+            f"{tstats.spills} spills saving {tstats.spill_saved} accesses, "
+            f"miss rate {base.stats.llc_miss_rate:.1%} -> {tstats.llc_miss_rate:.1%}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

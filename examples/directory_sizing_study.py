@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: sizing the coherence directory for a many-core part.
+
+An architect wants to know how small the coherence-tracking budget can
+get before performance falls off a cliff — the paper's Fig. 1 question —
+and how the tiny directory changes the answer. This script sweeps the
+baseline sparse directory from 2x down to 1/32x and compares against
+tiny directories of 1/32x and 1/256x, for a scientific and a commercial
+workload.
+
+Usage::
+
+    python examples/directory_sizing_study.py
+"""
+
+from repro import RunScale, SparseSpec, run_app
+from repro.analysis.tables import format_table
+
+APPS = ["barnes", "TPC-C"]
+SPARSE_SIZES = [2.0, 1 / 4, 1 / 8, 1 / 16, 1 / 32]
+TINY_SIZES = [1 / 32, 1 / 256]
+
+
+def main() -> None:
+    scale = RunScale(num_cores=16, total_accesses=24_000, spill_window=96)
+    columns = (
+        [f"sparse {r if r >= 1 else '1/%d' % round(1 / r)}x" for r in SPARSE_SIZES]
+        + [f"tiny 1/{round(1 / r)}x" for r in TINY_SIZES]
+    )
+    values = {}
+    for app in APPS:
+        row = []
+        baseline = None
+        for ratio in SPARSE_SIZES:
+            result = run_app(app, SparseSpec(ratio=ratio), scale)
+            if baseline is None:
+                baseline = result
+            row.append(result.normalized_cycles(baseline))
+        for ratio in TINY_SIZES:
+            spec = scale.tiny_spec(ratio, "gnru", spill=True)
+            row.append(run_app(app, spec, scale).normalized_cycles(baseline))
+        values[app] = row
+
+    print(
+        format_table(
+            "Directory sizing study (execution time normalized to sparse 2x)",
+            APPS,
+            columns,
+            values,
+        )
+    )
+    print()
+    print(
+        "The baseline sparse directory degrades steadily as it shrinks;\n"
+        "the tiny directory holds within a few percent of the 2x baseline\n"
+        "even at 1/256x of the tracking capacity - the paper's headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: compare a tiny directory against the 2x sparse baseline.
+
+Runs one application (barnes, the paper's most sharing-intensive
+workload) under three coherence-tracking schemes and prints the headline
+numbers: execution time, lengthened (3-hop shared read) accesses, LLC
+miss rate, and coherence storage.
+
+Usage::
+
+    python examples/quickstart.py [app]
+"""
+
+import sys
+
+from repro import InLLCSpec, RunScale, SparseSpec, run_app
+from repro.energy.model import directory_kilobytes
+from repro.sim.config import SystemConfig
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "barnes"
+    scale = RunScale(num_cores=16, total_accesses=24_000, spill_window=96)
+
+    schemes = [
+        ("sparse 2x (baseline)", SparseSpec(ratio=2.0)),
+        ("in-LLC tracking", InLLCSpec()),
+        ("tiny 1/64x +gNRU+spill", scale.tiny_spec(1 / 64, "gnru", spill=True)),
+    ]
+
+    print(f"application: {app} ({scale.num_cores} cores)")
+    print(f"{'scheme':24} {'norm.time':>9} {'lengthened':>10} {'miss rate':>9}")
+    baseline = None
+    for name, spec in schemes:
+        result = run_app(app, spec, scale)
+        if baseline is None:
+            baseline = result
+        stats = result.stats
+        print(
+            f"{name:24} {result.normalized_cycles(baseline):9.3f} "
+            f"{stats.lengthened_fraction:9.1%} {stats.llc_miss_rate:9.1%}"
+        )
+
+    paper = SystemConfig.paper()
+    print()
+    print("coherence storage at the paper's 128-core scale:")
+    print(f"  sparse 2x directory : {directory_kilobytes(paper, 2.0):8.1f} KB")
+    print(f"  tiny 1/64x directory: {directory_kilobytes(paper, 1 / 64, tiny=True):8.1f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a from-scratch reproduction of "Tiny Directory: Efficient
+Shared Memory in Many-core Systems with Ultra-low-overhead Coherence
+Tracking" (Shukla & Chaudhuri, HPCA 2017).
+
+Quickstart::
+
+    from repro import SystemConfig, TinySpec, run_app
+
+    result = run_app("barnes", TinySpec(ratio=1 / 32, policy="gnru", spill=True))
+    print(result.cycles, result.stats.lengthened_fraction)
+
+The package layers:
+
+* ``repro.core`` — the paper's contribution: STRA estimation, the tiny
+  directory (DSTRA / DSTRA+gNRU) and the dynamic LLC spill policy.
+* ``repro.coherence`` / ``repro.cache`` / ``repro.directory`` — the MESI
+  protocol engine, private hierarchies, the banked LLC with corrupted
+  states, and the competing directory organizations.
+* ``repro.interconnect`` / ``repro.memory`` — the 2D mesh and DRAM
+  substrates.
+* ``repro.sim`` — configuration, system assembly, trace engine, stats.
+* ``repro.workloads`` — synthetic traces for the seventeen Table II
+  applications.
+* ``repro.energy`` / ``repro.analysis`` — the energy model and the
+  per-figure experiment harness.
+"""
+
+from repro.analysis.runner import RunScale, run_app, scale_from_env
+from repro.sim.config import (
+    InLLCSpec,
+    MgdSpec,
+    SparseSpec,
+    StashSpec,
+    SystemConfig,
+    TinySpec,
+)
+from repro.sim.engine import TraceEngine, run_trace
+from repro.sim.results import RunResult
+from repro.sim.stats import SimStats
+from repro.sim.system import System
+from repro.types import Access, AccessKind
+from repro.workloads.generator import SyntheticTraceGenerator, generate_streams
+from repro.workloads.profiles import APPLICATIONS, PROFILES, WorkloadProfile, profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "APPLICATIONS",
+    "InLLCSpec",
+    "MgdSpec",
+    "PROFILES",
+    "RunResult",
+    "RunScale",
+    "SimStats",
+    "SparseSpec",
+    "StashSpec",
+    "SyntheticTraceGenerator",
+    "System",
+    "SystemConfig",
+    "TinySpec",
+    "TraceEngine",
+    "WorkloadProfile",
+    "generate_streams",
+    "profile",
+    "run_app",
+    "run_trace",
+    "scale_from_env",
+    "__version__",
+]

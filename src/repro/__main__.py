@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro --list
+    python -m repro fig01 fig10
+    python -m repro --all --scale quick
+    python -m repro fig13 --apps barnes TPC-C
+
+Each figure is printed as a text table (the same output the benchmark
+harness produces). Results are cached under ``.repro_cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+from repro.analysis.runner import RunScale
+
+#: CLI name -> (experiment callable, positional args).
+FIGURES = {
+    "fig01": (experiments.fig01_sparse_sizes, ()),
+    "fig02": (experiments.fig02_sharer_distribution, ()),
+    "fig03": (experiments.fig03_shared_only, ()),
+    "fig03z": (experiments.fig03_shared_only, ()),  # zcache handled below
+    "fig04": (experiments.fig04_in_llc_performance, ()),
+    "fig05": (experiments.fig05_in_llc_traffic, ()),
+    "fig06": (experiments.fig06_lengthened_accesses, ()),
+    "fig07": (experiments.fig07_lengthened_blocks, ()),
+    "fig08": (experiments.fig08_stra_blocks, ()),
+    "fig09": (experiments.fig09_stra_accesses, ()),
+    "fig10": (experiments.tiny_directory_performance, (1 / 32,)),
+    "fig11": (experiments.tiny_directory_performance, (1 / 64,)),
+    "fig12": (experiments.tiny_directory_performance, (1 / 128,)),
+    "fig13": (experiments.tiny_directory_performance, (1 / 256,)),
+    "fig14": (experiments.tiny_residual_lengthened, (1 / 32,)),
+    "fig15": (experiments.tiny_residual_lengthened, (1 / 256,)),
+    "fig16": (experiments.tiny_structure_metric, ("hits",)),
+    "fig17": (experiments.tiny_structure_metric, ("allocations",)),
+    "fig18": (experiments.tiny_structure_metric, ("hits_per_alloc",)),
+    "fig19": (experiments.fig19_spill_benefit, ()),
+    "fig20": (experiments.fig20_miss_rate_increase, ()),
+    "fig21": (experiments.fig21_energy, ()),
+    "fig22": (experiments.fig22_mgd_stash, ()),
+    "halved": (experiments.halved_hierarchy, ()),
+    "ablation-gnru": (experiments.ablation_gnru_generation, ()),
+    "ablation-delta": (experiments.ablation_spill_delta, ()),
+    "ablation-stra": (experiments.ablation_stra_width, ()),
+}
+
+_SCALES = {
+    "quick": RunScale.quick,
+    "default": RunScale.default,
+    "full": RunScale.full,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures of the Tiny Directory paper (HPCA 2017).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help="figure ids to run (see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="simulation scale preset",
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        metavar="APP",
+        help="restrict to these applications (default: all seventeen)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, (fn, extra) in FIGURES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:15} {doc}")
+        return 0
+    names = list(FIGURES) if args.all else args.figures
+    if not names:
+        build_parser().print_usage()
+        return 2
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)} (try --list)", file=sys.stderr)
+        return 2
+    scale = _SCALES[args.scale]()
+    for name in names:
+        fn, extra = FIGURES[name]
+        kwargs = {"apps": args.apps} if args.apps else {}
+        if name == "fig03z":
+            kwargs["zcache"] = True
+        figure = fn(*extra, scale, **kwargs)
+        print(figure.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head).
+        raise SystemExit(0)

@@ -1,0 +1,17 @@
+"""Experiment harness: per-figure runners and text-table reporting."""
+
+from repro.analysis.cache import cached_run
+from repro.analysis.runner import RunScale, run_app, scale_from_env
+from repro.analysis.tables import format_table, geomean, mean
+from repro.analysis import experiments
+
+__all__ = [
+    "RunScale",
+    "cached_run",
+    "experiments",
+    "format_table",
+    "geomean",
+    "mean",
+    "run_app",
+    "scale_from_env",
+]

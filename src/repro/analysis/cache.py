@@ -1,0 +1,71 @@
+"""On-disk cache of simulation results.
+
+Many of the paper's figures share the same runs (every normalized figure
+needs the 2x-sparse baseline of all seventeen applications), so the
+benchmark harness caches finished :class:`~repro.sim.results.RunResult`
+objects as JSON under ``.repro_cache/``.
+
+The cache key includes the scheme spec, the run scale, and a version
+constant that is bumped whenever simulator behaviour changes. Set
+``REPRO_CACHE=off`` to disable, or delete the directory to clear.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+from repro.analysis.runner import RunScale, run_app
+from repro.sim.results import RunResult
+from repro.sim.stats import SimStats
+
+#: Bump when a simulator change invalidates previously cached results.
+CACHE_VERSION = 1
+
+
+def cache_dir() -> pathlib.Path:
+    """The cache directory (``REPRO_CACHE_DIR`` or ``./.repro_cache``)."""
+    return pathlib.Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def cache_enabled() -> bool:
+    """False when caching is disabled via ``REPRO_CACHE=off``."""
+    return os.environ.get("REPRO_CACHE", "on").lower() not in ("off", "0", "no")
+
+
+def _key(app: str, scheme, scale: RunScale) -> str:
+    payload = f"v{CACHE_VERSION}|{app}|{scheme!r}|{scale!r}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def cached_run(app: str, scheme, scale: "RunScale | None" = None) -> RunResult:
+    """Like :func:`repro.analysis.runner.run_app`, but disk-cached."""
+    from repro.analysis.runner import scale_from_env
+
+    scale = scale or scale_from_env()
+    if not cache_enabled():
+        return run_app(app, scheme, scale)
+    path = cache_dir() / f"{_key(app, scheme, scale)}.json"
+    if path.exists():
+        with open(path) as handle:
+            payload = json.load(handle)
+        return RunResult(
+            app=payload["app"],
+            scheme=payload["scheme"],
+            stats=SimStats.load(payload["stats"]),
+            meta={"cached": True},
+        )
+    result = run_app(app, scheme, scale)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(
+            {
+                "app": result.app,
+                "scheme": result.scheme,
+                "stats": result.stats.dump(),
+            },
+            handle,
+        )
+    return result

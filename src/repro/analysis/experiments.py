@@ -1,0 +1,709 @@
+"""One experiment per paper table/figure.
+
+Each ``fig*`` function runs the required (application x scheme) grid —
+through the disk cache — and returns a :class:`Figure` whose rows/columns
+mirror the series the paper plots. ``Figure.render()`` produces the text
+table the benchmark harness prints; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cache import cached_run
+from repro.analysis.runner import RunScale, scale_from_env
+from repro.analysis.tables import format_table, geomean, mean
+from repro.energy.model import EnergyModel, directory_kilobytes
+from repro.sim.config import InLLCSpec, MgdSpec, SparseSpec, StashSpec
+from repro.workloads.profiles import APPLICATIONS
+
+
+@dataclass
+class Figure:
+    """One reproduced table/figure."""
+
+    figure_id: str
+    title: str
+    columns: "list[str]"
+    rows: "list[str]"
+    values: "dict[str, list[float]]"
+    fmt: str = "{:.3f}"
+    notes: str = ""
+    raw: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The text table for this figure."""
+        table = format_table(
+            f"{self.figure_id}: {self.title}",
+            self.rows,
+            self.columns,
+            self.values,
+            fmt=self.fmt,
+        )
+        if self.notes:
+            table += f"\n  note: {self.notes}"
+        return table
+
+    def column(self, name: str) -> "list[float]":
+        """Values of one column over the application rows."""
+        index = self.columns.index(name)
+        return [self.values[row][index] for row in self.rows if row != "Average"]
+
+    def average(self, name: str) -> float:
+        """The Average-row value of one column."""
+        index = self.columns.index(name)
+        return self.values["Average"][index]
+
+
+def _with_average(values: "dict[str, list[float]]", columns: int, agg=geomean) -> None:
+    values["Average"] = [
+        agg([values[app][i] for app in values]) for i in range(columns)
+    ]
+
+
+def _apps(apps) -> "list[str]":
+    return list(apps) if apps is not None else list(APPLICATIONS)
+
+
+def _baseline(app: str, scale: RunScale):
+    return cached_run(app, SparseSpec(ratio=2.0), scale)
+
+
+# ----------------------------------------------------------------------
+# Motivation figures
+# ----------------------------------------------------------------------
+
+def fig01_sparse_sizes(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 1: baseline sparse directory sizes vs the 2x directory."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    ratios = [(1 / 4, "1/4x"), (1 / 8, "1/8x"), (1 / 16, "1/16x")]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        values[app] = [
+            cached_run(app, SparseSpec(ratio=ratio), scale).normalized_cycles(base)
+            for ratio, _ in ratios
+        ]
+    _with_average(values, len(ratios))
+    return Figure(
+        "Fig. 1",
+        "normalized execution time of undersized sparse directories "
+        "(paper avg: 1.03 / 1.11 / 1.28)",
+        [label for _, label in ratios],
+        apps + ["Average"],
+        values,
+    )
+
+
+def fig02_sharer_distribution(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 2: max-sharer-count distribution of allocated LLC blocks."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    columns = ["[2,4]%", "[5,8]%", "[9,16]%", "[17,C]%", "shared%"]
+    values = {}
+    for app in apps:
+        stats = _baseline(app, scale).stats
+        total = max(1, stats.blocks_allocated)
+        bins = [100.0 * count / total for count in stats.sharer_bins[1:]]
+        values[app] = bins + [100.0 * stats.shared_block_fraction]
+    _with_average(values, len(columns), agg=mean)
+    return Figure(
+        "Fig. 2",
+        "percentage of allocated LLC blocks by maximum sharer count "
+        "(paper avg shared: 21%)",
+        columns,
+        apps + ["Average"],
+        values,
+        fmt="{:.1f}",
+    )
+
+
+def fig03_shared_only(
+    scale: "RunScale | None" = None, apps=None, zcache: bool = False
+) -> Figure:
+    """Fig. 3: directories dedicated to shared blocks only."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    ratios = [(1 / 16, "1/16x"), (1 / 32, "1/32x"), (1 / 64, "1/64x"), (1 / 128, "1/128x")]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        values[app] = [
+            cached_run(
+                app, SparseSpec(ratio=ratio, shared_only=True, zcache=zcache), scale
+            ).normalized_cycles(base)
+            for ratio, _ in ratios
+        ]
+    _with_average(values, len(ratios))
+    kind = "skew-associative (Z-cache)" if zcache else "set-associative"
+    return Figure(
+        "Fig. 3",
+        f"shared-only {kind} directories vs 2x "
+        "(paper avg set-assoc: 1.01 / 1.04 / 1.13 / 1.28)",
+        [label for _, label in ratios],
+        apps + ["Average"],
+        values,
+    )
+
+
+# ----------------------------------------------------------------------
+# In-LLC tracking (Section III)
+# ----------------------------------------------------------------------
+
+def fig04_in_llc_performance(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 4: in-LLC coherence tracking, both variants, vs 2x."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        tag = cached_run(app, InLLCSpec(tag_extended=True), scale)
+        borrow = cached_run(app, InLLCSpec(tag_extended=False), scale)
+        values[app] = [tag.normalized_cycles(base), borrow.normalized_cycles(base)]
+    _with_average(values, 2)
+    return Figure(
+        "Fig. 4",
+        "in-LLC tracking vs 2x sparse (paper avg: ~1.00 tag-extended, "
+        "1.11 data-bits-borrowed)",
+        ["tag-extended", "data-borrowed"],
+        apps + ["Average"],
+        values,
+    )
+
+
+def fig05_in_llc_traffic(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 5: interconnect traffic split, in-LLC normalized to 2x."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    columns = ["processor", "writeback", "coherence", "total"]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale).stats.traffic
+        inllc = cached_run(app, InLLCSpec(), scale).stats.traffic
+        row = []
+        for key in ("processor", "writeback", "coherence"):
+            base_bytes = base.as_dict()[key]
+            row.append(inllc.as_dict()[key] / base_bytes if base_bytes else 0.0)
+        row.append(
+            inllc.total_bytes / base.total_bytes if base.total_bytes else 0.0
+        )
+        values[app] = row
+    _with_average(values, len(columns), agg=mean)
+    return Figure(
+        "Fig. 5",
+        "in-LLC interconnect traffic normalized to 2x by message class "
+        "(paper: +1% processor/writeback, +5% coherence)",
+        columns,
+        apps + ["Average"],
+        values,
+    )
+
+
+def fig06_lengthened_accesses(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 6: % LLC accesses with lengthened critical path (in-LLC)."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    values = {}
+    for app in apps:
+        stats = cached_run(app, InLLCSpec(), scale).stats
+        total = max(1, stats.llc_transactions)
+        values[app] = [
+            100.0 * stats.lengthened_data / total,
+            100.0 * stats.lengthened_code / total,
+            100.0 * stats.lengthened / total,
+        ]
+    _with_average(values, 3, agg=mean)
+    return Figure(
+        "Fig. 6",
+        "% of LLC accesses suffering a 3-hop critical path under in-LLC "
+        "tracking (paper avg: 30%; code dominates commercial apps)",
+        ["data%", "code%", "total%"],
+        apps + ["Average"],
+        values,
+        fmt="{:.1f}",
+    )
+
+
+def fig07_lengthened_blocks(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 7: % allocated LLC blocks with lengthened accesses."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    values = {}
+    for app in apps:
+        stats = cached_run(app, InLLCSpec(), scale).stats
+        values[app] = [100.0 * stats.lengthened_block_fraction]
+    _with_average(values, 1, agg=mean)
+    return Figure(
+        "Fig. 7",
+        "% of allocated LLC blocks experiencing lengthened accesses "
+        "(paper avg: 8%; barnes: 78%)",
+        ["blocks%"],
+        apps + ["Average"],
+        values,
+        fmt="{:.1f}",
+    )
+
+
+def _stra_distribution(scale, apps, access_weighted: bool) -> Figure:
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    columns = [f"C{i}%" for i in range(1, 8)]
+    values = {}
+    for app in apps:
+        stats = cached_run(app, InLLCSpec(), scale).stats
+        counts = (
+            stats.stra_access_categories
+            if access_weighted
+            else stats.stra_block_categories
+        )
+        total = max(1, sum(counts[1:]))
+        values[app] = [100.0 * counts[i] / total for i in range(1, 8)]
+    _with_average(values, len(columns), agg=mean)
+    which = "offending LLC accesses" if access_weighted else "allocated LLC blocks"
+    fig_id = "Fig. 9" if access_weighted else "Fig. 8"
+    note = (
+        "paper: C6+C7 cover 54% of offending accesses"
+        if access_weighted
+        else "paper: C6+C7 cover 12% of non-zero-STRA blocks"
+    )
+    return Figure(
+        fig_id,
+        f"distribution of {which} over STRA categories ({note})",
+        columns,
+        apps + ["Average"],
+        values,
+        fmt="{:.1f}",
+    )
+
+
+def fig08_stra_blocks(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 8: STRA-category distribution of non-zero-STRA blocks."""
+    return _stra_distribution(scale, apps, access_weighted=False)
+
+
+def fig09_stra_accesses(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 9: STRA-category distribution of offending accesses."""
+    return _stra_distribution(scale, apps, access_weighted=True)
+
+
+# ----------------------------------------------------------------------
+# Tiny directory results (Section V)
+# ----------------------------------------------------------------------
+
+_TINY_SIZE_LABELS = {
+    1 / 32: "1/32x",
+    1 / 64: "1/64x",
+    1 / 128: "1/128x",
+    1 / 256: "1/256x",
+}
+
+_TINY_FIG_IDS = {
+    1 / 32: "Fig. 10",
+    1 / 64: "Fig. 11",
+    1 / 128: "Fig. 12",
+    1 / 256: "Fig. 13",
+}
+
+_TINY_PAPER_AVGS = {
+    1 / 32: "1.01 / 1.01 / 1.005",
+    1 / 64: "1.03 / 1.02 / 1.01",
+    1 / 128: "1.06 / 1.05 / 1.01",
+    1 / 256: "1.08 / 1.06 / 1.01",
+}
+
+
+def tiny_directory_performance(
+    ratio: float, scale: "RunScale | None" = None, apps=None
+) -> Figure:
+    """Figs. 10-13: tiny directory at ``ratio`` under the three policies."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    columns = ["DSTRA", "DSTRA+gNRU", "+DynSpill"]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        values[app] = [
+            cached_run(app, scale.tiny_spec(ratio, "dstra"), scale).normalized_cycles(base),
+            cached_run(app, scale.tiny_spec(ratio, "gnru"), scale).normalized_cycles(base),
+            cached_run(
+                app, scale.tiny_spec(ratio, "gnru", spill=True), scale
+            ).normalized_cycles(base),
+        ]
+    _with_average(values, len(columns))
+    label = _TINY_SIZE_LABELS[ratio]
+    return Figure(
+        _TINY_FIG_IDS[ratio],
+        f"tiny directory {label} vs 2x sparse "
+        f"(paper avg: {_TINY_PAPER_AVGS[ratio]})",
+        columns,
+        apps + ["Average"],
+        values,
+    )
+
+
+def tiny_residual_lengthened(
+    ratio: float, scale: "RunScale | None" = None, apps=None
+) -> Figure:
+    """Figs. 14-15: % lengthened LLC accesses remaining under tiny dir."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    columns = ["DSTRA", "DSTRA+gNRU", "+DynSpill"]
+    values = {}
+    for app in apps:
+        row = []
+        for policy, spill in (("dstra", False), ("gnru", False), ("gnru", True)):
+            stats = cached_run(app, scale.tiny_spec(ratio, policy, spill), scale).stats
+            row.append(100.0 * stats.lengthened_fraction)
+        values[app] = row
+    _with_average(values, len(columns), agg=mean)
+    label = _TINY_SIZE_LABELS[ratio]
+    fig_id = "Fig. 14" if ratio == 1 / 32 else "Fig. 15"
+    paper = "3% / 2% / <1%" if ratio == 1 / 32 else "23% / 20% / 4%"
+    return Figure(
+        fig_id,
+        f"% LLC accesses still lengthened with a {label} tiny directory "
+        f"(paper avg: {paper})",
+        columns,
+        apps + ["Average"],
+        values,
+        fmt="{:.1f}",
+    )
+
+
+def tiny_structure_metric(
+    metric: str, scale: "RunScale | None" = None, apps=None
+) -> Figure:
+    """Figs. 16-18: tiny-directory hits/allocations/hits-per-allocation.
+
+    ``metric`` is ``"hits"``, ``"allocations"``, or ``"hits_per_alloc"``.
+    Hits and allocations are reported as gNRU normalized to DSTRA; hits
+    per allocation as the absolute gNRU number.
+    """
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    ratios = [1 / 256, 1 / 128, 1 / 64, 1 / 32]
+    columns = [_TINY_SIZE_LABELS[r] for r in ratios]
+    values = {}
+    for app in apps:
+        row = []
+        for ratio in ratios:
+            gnru = cached_run(app, scale.tiny_spec(ratio, "gnru"), scale).stats
+            if metric == "hits_per_alloc":
+                allocs = max(1, gnru.structures.get("tiny_allocations", 0))
+                row.append(gnru.structures.get("tiny_hits", 0) / allocs)
+                continue
+            dstra = cached_run(app, scale.tiny_spec(ratio, "dstra"), scale).stats
+            key = f"tiny_{metric}"
+            denom = max(1, dstra.structures.get(key, 0))
+            row.append(gnru.structures.get(key, 0) / denom)
+        values[app] = row
+    _with_average(values, len(columns), agg=mean)
+    titles = {
+        "hits": ("Fig. 16", "tiny-directory hits, gNRU normalized to DSTRA "
+                 "(paper avg: 1.39 / 1.23 / 1.12 / 1.03)"),
+        "allocations": ("Fig. 17", "tiny-directory allocations, gNRU normalized "
+                        "to DSTRA (paper avg: 74x / 50x / 7x / 2x)"),
+        "hits_per_alloc": ("Fig. 18", "hits per tiny-directory allocation under "
+                           "gNRU (paper avg: 17.5 / 16.6 / 46.1 / 59.5)"),
+    }
+    fig_id, title = titles[metric]
+    return Figure(fig_id, title, columns, apps + ["Average"], values, fmt="{:.2f}")
+
+
+def fig19_spill_benefit(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 19: % LLC accesses saved from lengthening by spilled entries."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    ratios = [1 / 256, 1 / 128, 1 / 64, 1 / 32]
+    columns = [_TINY_SIZE_LABELS[r] for r in ratios]
+    values = {}
+    for app in apps:
+        values[app] = [
+            100.0
+            * cached_run(
+                app, scale.tiny_spec(ratio, "gnru", spill=True), scale
+            ).stats.spill_saved_fraction
+            for ratio in ratios
+        ]
+    _with_average(values, len(columns), agg=mean)
+    return Figure(
+        "Fig. 19",
+        "% of LLC accesses avoiding a lengthened path thanks to spilled "
+        "entries (paper avg: 16 / 11 / 5 / 2)",
+        columns,
+        apps + ["Average"],
+        values,
+        fmt="{:.1f}",
+    )
+
+
+def fig20_miss_rate_increase(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 20: LLC miss-rate increase due to spilling vs the 2x baseline."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    ratios = [1 / 256, 1 / 128, 1 / 64, 1 / 32]
+    columns = [_TINY_SIZE_LABELS[r] for r in ratios]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale).stats.llc_miss_rate
+        values[app] = [
+            100.0
+            * (
+                cached_run(
+                    app, scale.tiny_spec(ratio, "gnru", spill=True), scale
+                ).stats.llc_miss_rate
+                - base
+            )
+            for ratio in ratios
+        ]
+    _with_average(values, len(columns), agg=mean)
+    return Figure(
+        "Fig. 20",
+        "LLC miss-rate increase (percentage points) with DynSpill vs 2x "
+        "(paper: avg < 0.5pp, max 2.1pp)",
+        columns,
+        apps + ["Average"],
+        values,
+        fmt="{:+.2f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Energy (Fig. 21) and related proposals (Fig. 22)
+# ----------------------------------------------------------------------
+
+def fig21_energy(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 21: execution cycles and LLC+directory energy across sizes.
+
+    Activity counts come from the scaled runs; structure capacities are
+    taken at the paper's 128-core geometry (a full-map directory entry is
+    ~160 bits wide there, which is what makes the 2x directory's 10 MB
+    leakage worth eliminating — a scaled 16/32-core directory would
+    understate that effect).
+    """
+    from repro.sim.config import SystemConfig
+
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    model = EnergyModel()
+    paper_config = SystemConfig.paper()
+    sparse_sizes = [(2.0, "2x"), (1.0, "1x"), (0.5, "1/2x"), (0.25, "1/4x"),
+                    (1 / 8, "1/8x"), (1 / 16, "1/16x")]
+    tiny_sizes = [(1 / 128, "Tiny 1/128x"), (1 / 256, "Tiny 1/256x")]
+
+    def totals(scheme, tiny):
+        cycles = 0.0
+        dynamic = 0.0
+        leakage = 0.0
+        for app in apps:
+            result = cached_run(app, scheme, scale)
+            ratio = scheme.ratio
+            kb = directory_kilobytes(paper_config, ratio, tiny=tiny)
+            energy = model.system_energy(paper_config, result.stats, kb, tiny=tiny)
+            cycles += result.cycles
+            dynamic += energy.dynamic
+            leakage += energy.leakage
+        return cycles, dynamic, leakage
+
+    rows = []
+    raw = {}
+    for ratio, label in sparse_sizes:
+        rows.append(label)
+        raw[label] = totals(SparseSpec(ratio=ratio), tiny=False)
+    for ratio, label in tiny_sizes:
+        rows.append(label)
+        raw[label] = totals(scale.tiny_spec(ratio, "gnru", spill=True), tiny=True)
+
+    ref = raw["Tiny 1/256x"]
+    values = {
+        label: [
+            raw[label][0] / ref[0],
+            raw[label][1] / ref[1],
+            raw[label][2] / ref[2],
+            (raw[label][1] + raw[label][2]) / (ref[1] + ref[2]),
+        ]
+        for label in rows
+    }
+    return Figure(
+        "Fig. 21",
+        "cycles and LLC+directory energy normalized to the 1/256x tiny "
+        "directory (paper: tiny saves 16-17% total energy vs 2x)",
+        ["cycles", "dynamic", "leakage", "total"],
+        rows,
+        values,
+        raw={"totals": raw},
+    )
+
+
+def fig22_mgd_stash(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Fig. 22: multi-grain and Stash directories vs the 2x baseline."""
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    specs = [
+        (MgdSpec(ratio=1 / 8), "MgD 1/8x"),
+        (MgdSpec(ratio=1 / 16), "MgD 1/16x"),
+        (MgdSpec(ratio=1 / 32), "MgD 1/32x"),
+        (MgdSpec(ratio=1 / 64), "MgD 1/64x"),
+        (StashSpec(ratio=1 / 32), "Stash 1/32x"),
+    ]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        values[app] = [
+            cached_run(app, spec, scale).normalized_cycles(base)
+            for spec, _ in specs
+        ]
+    _with_average(values, len(specs))
+    return Figure(
+        "Fig. 22",
+        "MgD and Stash directories vs 2x sparse (paper avg: 1.001 / 1.08 "
+        "/ 1.29 / 1.63 MgD; 1.41 Stash)",
+        [label for _, label in specs],
+        apps + ["Average"],
+        values,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations of design choices (DESIGN.md §5)
+# ----------------------------------------------------------------------
+
+def ablation_gnru_generation(
+    scale: "RunScale | None" = None, apps=None, ratio: float = 1 / 128
+) -> Figure:
+    """Adaptive generation length (paper) vs fixed lengths, gNRU policy."""
+    from repro.sim.config import TinySpec
+
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    variants = [
+        (TinySpec(ratio=ratio, policy="gnru", spill_window=scale.spill_window), "adaptive"),
+        (TinySpec(ratio=ratio, policy="gnru", gnru_adaptive=False,
+                  gnru_default_generation=4, spill_window=scale.spill_window), "fixed-16K"),
+        (TinySpec(ratio=ratio, policy="gnru", gnru_adaptive=False,
+                  gnru_default_generation=64, spill_window=scale.spill_window), "fixed-256K"),
+    ]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        values[app] = [
+            cached_run(app, spec, scale).normalized_cycles(base)
+            for spec, _ in variants
+        ]
+    _with_average(values, len(variants))
+    return Figure(
+        "Ablation A1",
+        f"gNRU generation length at {_TINY_SIZE_LABELS[ratio]}: adaptive "
+        "(paper) vs fixed (cycles normalized to 2x)",
+        [label for _, label in variants],
+        apps + ["Average"],
+        values,
+    )
+
+
+def ablation_spill_delta(
+    scale: "RunScale | None" = None, apps=None, ratio: float = 1 / 256
+) -> Figure:
+    """Adaptive delta classes A-D (paper) vs a fixed delta, with spilling."""
+    from repro.sim.config import TinySpec
+
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    variants = [
+        (scale.tiny_spec(ratio, "gnru", spill=True), "adaptive-delta"),
+        (TinySpec(ratio=ratio, policy="gnru", spill=True,
+                  spill_window=scale.spill_window,
+                  spill_adaptive_delta=False), "fixed-delta"),
+    ]
+    columns = ["adaptive cyc", "fixed cyc", "adaptive dMR", "fixed dMR"]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        row = []
+        deltas = []
+        for spec, _ in variants:
+            result = cached_run(app, spec, scale)
+            row.append(result.normalized_cycles(base))
+            deltas.append(
+                100.0 * (result.stats.llc_miss_rate - base.stats.llc_miss_rate)
+            )
+        values[app] = row + deltas
+    _with_average(values, len(columns), agg=mean)
+    return Figure(
+        "Ablation A2",
+        f"spill delta adaptation at {_TINY_SIZE_LABELS[ratio]}: adaptive "
+        "classes A-D vs fixed delta_B (normalized cycles and miss-rate "
+        "change in pp)",
+        columns,
+        apps + ["Average"],
+        values,
+    )
+
+
+def ablation_stra_width(
+    scale: "RunScale | None" = None, apps=None, ratio: float = 1 / 128
+) -> Figure:
+    """STRA counter width: 4/6/8 bits (the paper uses 6)."""
+    from repro.sim.config import TinySpec
+
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    widths = [4, 6, 8]
+    values = {}
+    for app in apps:
+        base = _baseline(app, scale)
+        values[app] = [
+            cached_run(
+                app,
+                TinySpec(ratio=ratio, policy="gnru", spill=True,
+                         spill_window=scale.spill_window,
+                         stra_counter_bits=bits),
+                scale,
+            ).normalized_cycles(base)
+            for bits in widths
+        ]
+    _with_average(values, len(widths))
+    return Figure(
+        "Ablation A3",
+        f"STRA counter width at {_TINY_SIZE_LABELS[ratio]} with DynSpill "
+        "(cycles normalized to 2x; paper uses 6-bit counters)",
+        [f"{bits}-bit" for bits in widths],
+        apps + ["Average"],
+        values,
+    )
+
+
+def halved_hierarchy(scale: "RunScale | None" = None, apps=None) -> Figure:
+    """Section V-A robustness run: halved cache hierarchy, 1/128x tiny."""
+    from repro.sim.config import SystemConfig
+
+    scale = scale or scale_from_env()
+    apps = _apps(apps)
+    half = RunScale(
+        num_cores=scale.num_cores,
+        total_accesses=scale.total_accesses,
+        seed=scale.seed,
+        l1_kb=max(1, scale.l1_kb // 2),
+        l2_kb=max(2, scale.l2_kb // 2),
+        spill_window=scale.spill_window,
+    )
+    values = {}
+    for app in apps:
+        base = cached_run(app, SparseSpec(ratio=2.0), half)
+        gnru = cached_run(app, half.tiny_spec(1 / 128, "gnru"), half)
+        spill = cached_run(app, half.tiny_spec(1 / 128, "gnru", spill=True), half)
+        values[app] = [
+            gnru.normalized_cycles(base),
+            spill.normalized_cycles(base),
+        ]
+    _with_average(values, 2)
+    return Figure(
+        "§V-A halved",
+        "halved hierarchy, 1/128x tiny directory vs 2x sparse "
+        "(paper avg: 1.07 gNRU, 1.01 +DynSpill)",
+        ["DSTRA+gNRU", "+DynSpill"],
+        apps + ["Average"],
+        values,
+    )

@@ -1,0 +1,65 @@
+"""Plain-text table formatting for experiment output.
+
+The benchmark harness prints each figure as a table whose rows are the
+paper's applications and whose columns are the figure's series, so the
+reproduction can be compared against the paper by eye (EXPERIMENTS.md
+records that comparison).
+"""
+
+from __future__ import annotations
+
+
+def format_table(
+    title: str,
+    rows: "list[str]",
+    columns: "list[str]",
+    values: "dict[str, list[float]]",
+    fmt: str = "{:.3f}",
+    row_header: str = "application",
+) -> str:
+    """Render a figure's data as an aligned text table.
+
+    Args:
+        title: table caption (figure id + description).
+        rows: row labels, usually application names.
+        columns: series labels.
+        values: row label -> list of per-column values.
+        fmt: format spec applied to each value.
+    """
+    header = [row_header] + columns
+    body = []
+    for row in rows:
+        cells = [row]
+        for value in values[row]:
+            cells.append(fmt.format(value) if value is not None else "-")
+        body.append(cells)
+    widths = [
+        max(len(line[i]) for line in [header] + body)
+        for i in range(len(header))
+    ]
+    divider = "-+-".join("-" * w for w in widths)
+
+    def render(cells: "list[str]") -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [title, render(header), divider]
+    lines.extend(render(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def geomean(values: "list[float]") -> float:
+    """Geometric mean (the paper's 'Average' bars for normalized times)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    product = 1.0
+    for value in cleaned:
+        product *= value
+    return product ** (1.0 / len(cleaned))
+
+
+def mean(values: "list[float]") -> float:
+    """Arithmetic mean (used for percentage-style figures)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,7 @@
+"""Cache structures: set-associative arrays, private hierarchies, the LLC."""
+
+from repro.cache.sets import Line, SetAssocArray
+from repro.cache.private_cache import PrivateCore
+from repro.cache.llc import LLCBank, LLCLine
+
+__all__ = ["Line", "SetAssocArray", "PrivateCore", "LLCBank", "LLCLine"]

@@ -1,0 +1,180 @@
+"""Per-core private cache hierarchy: iL1, dL1, and a unified L2.
+
+Coherence state is kept at the L2 level; the L1s are treated as inclusive
+subsets of the L2 (the paper's hierarchy is non-inclusive, but inclusion
+changes neither the hop counts nor the directory pressure that drive the
+paper's results, and it keeps invalidation handling simple). Evictions
+from the L2 are notified to the home LLC bank for every state, per the
+paper's baseline protocol [29].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.sets import SetAssocArray
+from repro.errors import ProtocolError
+from repro.types import AccessKind, PrivateState
+
+
+@dataclass(frozen=True)
+class EvictionNotice:
+    """An L2 victim that must be reported to its home LLC bank."""
+
+    addr: int
+    state: PrivateState
+
+
+class ProbeResult:
+    """Outcome of probing the private hierarchy for an access."""
+
+    __slots__ = ("level", "needs_upgrade")
+
+    def __init__(self, level: str, needs_upgrade: bool = False) -> None:
+        #: "l1", "l2", or "miss".
+        self.level = level
+        #: True when the block is held in S but the access is a write, so
+        #: an upgrade request must be sent to the home bank.
+        self.needs_upgrade = needs_upgrade
+
+    @property
+    def is_hit(self) -> bool:
+        """True when the access completes within the private hierarchy."""
+        return self.level != "miss" and not self.needs_upgrade
+
+
+class PrivateCore:
+    """The private cache hierarchy of one core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        l1_sets: int,
+        l1_assoc: int,
+        l2_sets: int,
+        l2_assoc: int,
+    ) -> None:
+        self.core_id = core_id
+        self.il1 = SetAssocArray(l1_sets, l1_assoc, "lru")
+        self.dl1 = SetAssocArray(l1_sets, l1_assoc, "lru")
+        self.l2 = SetAssocArray(l2_sets, l2_assoc, "lru")
+
+    # ------------------------------------------------------------------
+    # Lookup path
+    # ------------------------------------------------------------------
+
+    def probe(self, addr: int, kind: AccessKind) -> ProbeResult:
+        """Probe the hierarchy for an access without filling anything.
+
+        On an L2 hit the block is promoted into the appropriate L1. A
+        write that finds the block in S state reports ``needs_upgrade``;
+        a write that finds it in E state silently upgrades to M.
+        """
+        l1 = self.il1 if kind is AccessKind.IFETCH else self.dl1
+        l1_line = l1.lookup(l1.set_index(addr), addr)
+        l2_line = self.l2.lookup(self.l2.set_index(addr), addr)
+        if l1_line is not None and l2_line is None:
+            raise ProtocolError(
+                f"core {self.core_id}: block {addr:#x} in L1 but not L2"
+            )
+        if l2_line is None:
+            return ProbeResult("miss")
+        state = l2_line.payload
+        if kind is AccessKind.WRITE:
+            if state is PrivateState.SHARED:
+                return ProbeResult("l1" if l1_line else "l2", needs_upgrade=True)
+            if state is PrivateState.EXCLUSIVE:
+                l2_line.payload = PrivateState.MODIFIED
+        if l1_line is not None:
+            return ProbeResult("l1")
+        # L2 hit: promote into L1 (inclusive, so no notice is needed for
+        # the L1 victim -- the L2 still holds it).
+        self._l1_fill(l1, addr)
+        return ProbeResult("l2")
+
+    def _l1_fill(self, l1: SetAssocArray, addr: int) -> None:
+        l1.insert(l1.set_index(addr), addr, None)
+
+    # ------------------------------------------------------------------
+    # Fill and state-change paths (driven by the home controller)
+    # ------------------------------------------------------------------
+
+    def fill(self, addr: int, kind: AccessKind, state: PrivateState) -> "list[EvictionNotice]":
+        """Install a block granted in ``state``; returns eviction notices.
+
+        At most one L2 victim is produced; its L1 copies are removed to
+        preserve inclusion.
+        """
+        if state is PrivateState.INVALID:
+            raise ProtocolError("cannot fill a block in state I")
+        notices = []
+        evicted = self.l2.insert(self.l2.set_index(addr), addr, state)
+        if evicted is not None:
+            self._drop_from_l1s(evicted.tag)
+            notices.append(EvictionNotice(evicted.tag, evicted.payload))
+        l1 = self.il1 if kind is AccessKind.IFETCH else self.dl1
+        self._l1_fill(l1, addr)
+        return notices
+
+    def complete_upgrade(self, addr: int) -> None:
+        """Transition a block held in S to M after an upgrade response."""
+        line = self.l2.lookup(self.l2.set_index(addr), addr, touch=False)
+        if line is None or line.payload is not PrivateState.SHARED:
+            raise ProtocolError(
+                f"core {self.core_id}: upgrade completion for block {addr:#x} "
+                f"not held in S"
+            )
+        line.payload = PrivateState.MODIFIED
+
+    def invalidate(self, addr: int) -> PrivateState:
+        """Invalidate a block everywhere in this hierarchy.
+
+        Returns the state the block was held in (``INVALID`` when the
+        block was not present, which callers treat as a stale-tracker
+        protocol error where appropriate).
+        """
+        line = self.l2.remove(self.l2.set_index(addr), addr)
+        self._drop_from_l1s(addr)
+        if line is None:
+            return PrivateState.INVALID
+        return line.payload
+
+    def downgrade(self, addr: int) -> PrivateState:
+        """Downgrade an exclusively held block to S (intervention).
+
+        Returns the prior state (M or E) so the caller can account for a
+        dirty writeback.
+        """
+        line = self.l2.lookup(self.l2.set_index(addr), addr, touch=False)
+        if line is None or not line.payload.is_exclusive:
+            raise ProtocolError(
+                f"core {self.core_id}: downgrade of block {addr:#x} "
+                f"not held exclusively"
+            )
+        prior = line.payload
+        line.payload = PrivateState.SHARED
+        return prior
+
+    def _drop_from_l1s(self, addr: int) -> None:
+        self.il1.remove(self.il1.set_index(addr), addr)
+        self.dl1.remove(self.dl1.set_index(addr), addr)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def state_of(self, addr: int) -> PrivateState:
+        """The MESI state of ``addr`` in this hierarchy (I if absent)."""
+        line = self.l2.lookup(self.l2.set_index(addr), addr, touch=False)
+        if line is None:
+            return PrivateState.INVALID
+        return line.payload
+
+    def holds(self, addr: int) -> bool:
+        """True when the block is valid anywhere in this hierarchy."""
+        return self.state_of(addr) is not PrivateState.INVALID
+
+    def resident_blocks(self):
+        """Yield (addr, state) for every valid block (for invariants)."""
+        for _, line in self.l2.iter_lines():
+            yield line.tag, line.payload

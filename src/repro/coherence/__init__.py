@@ -1,0 +1,6 @@
+"""MESI coherence protocol: states, coherence info, home controllers."""
+
+from repro.coherence.info import CohInfo
+from repro.coherence.transaction import AccessOutcome
+
+__all__ = ["CohInfo", "AccessOutcome"]

@@ -1,0 +1,216 @@
+"""Common machinery for home LLC-bank controllers.
+
+A *home controller* implements the home-node side of the MESI protocol
+for one coherence-tracking scheme. The :class:`System` routes every
+private-cache miss, upgrade, and eviction notice to the controller, which
+manipulates the LLC banks, the tracking structures, and the private
+caches of remote cores, while accounting latency and traffic.
+
+The simulation is functionally synchronous: a transaction completes
+before the next one starts, so the transient/busy states of the real
+protocol (and their NACK/retry traffic) are not modelled. The paper
+reports that effect as a ~1% processor-traffic increase; everything else
+the figures measure — hop counts, invalidations, miss rates, message
+volumes — is captured.
+"""
+
+from __future__ import annotations
+
+from repro.cache.llc import LLCBank, LLCLine
+from repro.cache.private_cache import PrivateCore
+from repro.coherence.info import CohInfo
+from repro.coherence.transaction import AccessOutcome
+from repro.interconnect.mesh import Mesh2D
+from repro.interconnect.traffic import MessageClass, TrafficMeter
+from repro.memory.dram import DramModel
+from repro.sim.config import SystemConfig
+from repro.types import AccessKind, LLCState, PrivateState
+
+
+class BaseHome:
+    """Shared state and helpers for all home controllers."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        mesh: Mesh2D,
+        dram: DramModel,
+        cores: "list[PrivateCore]",
+        stats,
+    ) -> None:
+        self.config = config
+        self.mesh = mesh
+        self.dram = dram
+        self.cores = cores
+        self.stats = stats
+        self.traffic: TrafficMeter = stats.traffic
+        self.num_banks = config.num_banks
+        self.banks = [
+            LLCBank(
+                config.llc_sets_per_bank,
+                config.llc_assoc,
+                bank_stride=self.num_banks,
+                bank_index=index,
+            )
+            for index in range(self.num_banks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Geometry and latency helpers
+    # ------------------------------------------------------------------
+
+    def bank_of(self, addr: int) -> int:
+        """Home bank (== home tile) of block ``addr``."""
+        return addr % self.num_banks
+
+    def _llc_hit_latency(self, with_data: bool = True) -> int:
+        config = self.config
+        return config.llc_tag_latency + (config.llc_data_latency if with_data else 0)
+
+    def _two_hop(self, core: int, home: int, with_data: bool = True) -> int:
+        """Requester -> home -> requester latency, including LLC lookup."""
+        return 2 * self.mesh.latency(core, home) + self._llc_hit_latency(with_data)
+
+    def _three_hop(
+        self, core: int, home: int, target: int, llc_extra: int = 0
+    ) -> int:
+        """Requester -> home -> target -> requester latency.
+
+        ``llc_extra`` adds serialization beyond the tag lookup (e.g. the
+        data read + decode of a corrupted block, Section IV-C).
+        """
+        return (
+            self.mesh.latency(core, home)
+            + self.config.llc_tag_latency
+            + llc_extra
+            + self.mesh.latency(home, target)
+            + self.config.l2_latency
+            + self.mesh.latency(target, core)
+        )
+
+    def _invalidation_latency(self, home: int, holders: "list[int]", requester: int) -> int:
+        """Slowest home -> holder -> requester invalidation/ack path."""
+        if not holders:
+            return 0
+        return max(
+            self.mesh.latency(home, holder) + self.mesh.latency(holder, requester)
+            for holder in holders
+        )
+
+    def _closest_sharer(self, coh: CohInfo, home: int) -> int:
+        """Elect the sharer nearest to the home tile to forward data."""
+        sharers = coh.sharer_list()
+        return min(sharers, key=lambda core: self.mesh.distance(home, core))
+
+    # ------------------------------------------------------------------
+    # DRAM
+    # ------------------------------------------------------------------
+
+    def _dram_fetch(self, addr: int, now: int, out: AccessOutcome) -> int:
+        """Fetch a block from memory; returns the added latency."""
+        home = self.bank_of(addr)
+        latency = (
+            2 * self.mesh.memory_latency(home)
+            + self.dram.access(addr, now, is_write=False)
+        )
+        out.dram_access = True
+        out.llc_data_hit = False
+        return latency
+
+    def _dram_write(self, addr: int, now: int) -> None:
+        """Write a block back to memory (off the critical path)."""
+        self.dram.access(addr, now, is_write=True)
+
+    # ------------------------------------------------------------------
+    # Private-cache manipulation
+    # ------------------------------------------------------------------
+
+    def _invalidate_holders(
+        self,
+        addr: int,
+        coh: CohInfo,
+        now: int,
+        except_core: "int | None" = None,
+        data_to_requester: bool = False,
+    ) -> bool:
+        """Invalidate every private copy recorded in ``coh``.
+
+        Returns True when a dirty (M) copy was found; the modified data
+        is forwarded to the requester when ``data_to_requester``,
+        otherwise written into the home LLC line (or memory when the line
+        is absent). Traffic: one invalidation and one acknowledgement per
+        holder, the ack carrying data for an M holder.
+        """
+        had_dirty = False
+        for holder in coh.holders():
+            if holder == except_core:
+                continue
+            prior = self.cores[holder].invalidate(addr)
+            self.traffic.control(MessageClass.COHERENCE)  # invalidation
+            if prior is PrivateState.MODIFIED:
+                had_dirty = True
+                self.traffic.data(MessageClass.COHERENCE)  # ack + data
+                if not data_to_requester:
+                    self._store_dirty_data(addr, now)
+            else:
+                self.traffic.control(MessageClass.COHERENCE)  # ack
+            self.stats.invalidations += 1
+        coh.clear()
+        return had_dirty
+
+    def _store_dirty_data(self, addr: int, now: int) -> None:
+        """Deposit retrieved dirty data in the LLC line or in memory."""
+        bank = self.banks[self.bank_of(addr)]
+        line, _ = bank.lookup(addr, touch=False)
+        if line is not None and not line.is_spill and line.state in (
+            LLCState.CLEAN,
+            LLCState.DIRTY,
+        ):
+            line.state = LLCState.DIRTY
+            bank.data_writes += 1
+        elif line is not None and not line.is_spill:
+            # Corrupted line: the data portion is updated in place; the
+            # borrowed bits stay authoritative for tracking.
+            line.underlying_dirty = True
+            bank.data_writes += 1
+        else:
+            self._dram_write(addr, now)
+
+    # ------------------------------------------------------------------
+    # Residency bookkeeping
+    # ------------------------------------------------------------------
+
+    def _flush_residency(self, line: LLCLine) -> None:
+        if not line.is_spill:
+            self.stats.flush_residency(line)
+
+    def finalize(self) -> None:
+        """Flush residency statistics of still-resident LLC lines."""
+        for bank in self.banks:
+            for line in bank.iter_lines():
+                self._flush_residency(line)
+
+    # ------------------------------------------------------------------
+    # Interface implemented by scheme controllers
+    # ------------------------------------------------------------------
+
+    def handle_access(
+        self,
+        core: int,
+        addr: int,
+        kind: AccessKind,
+        now: int,
+        upgrade: bool = False,
+    ) -> AccessOutcome:
+        """Serve a private miss (or S->M upgrade) for ``core``."""
+        raise NotImplementedError
+
+    def handle_private_eviction(
+        self, core: int, addr: int, state: PrivateState, now: int
+    ) -> None:
+        """Process an eviction notice from ``core``'s private hierarchy."""
+        raise NotImplementedError
+
+    def check_invariants(self) -> None:
+        """Verify tracker/private-cache agreement (tests only)."""
+        raise NotImplementedError

@@ -1,0 +1,578 @@
+"""Home controllers for the sparse-directory scheme family.
+
+:class:`SparseHome` implements the baseline write-invalidate MESI home
+node with a sparse directory (Section II / Fig. 1 of the paper). Three
+small hook methods — :meth:`_find`, :meth:`_install`, :meth:`_drop` —
+abstract where tracking information lives, so the competing organizations
+are subclasses:
+
+* :class:`SharedOnlyHome` — the Fig. 3 idealized design: only shared
+  blocks occupy the limited directory; private/exclusive blocks live in a
+  zero-cost unbounded structure.
+* :class:`StashHome` — Stash directory [14]: private entries are dropped
+  without invalidation and recovered by broadcast on later sharing.
+* :class:`MgdHome` — multi-grain directory [47]: one entry per private
+  1 KB region, block-grain entries for shared data.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.base import BaseHome
+from repro.coherence.info import CohInfo
+from repro.coherence.transaction import AccessOutcome
+from repro.directory.mgd import BLOCKS_PER_REGION, MultiGrainDirectory, RegionEntry
+from repro.directory.stash import StashState
+from repro.errors import ProtocolError
+from repro.interconnect.traffic import MessageClass
+from repro.types import AccessKind, LLCState, PrivateState
+
+
+class SparseHome(BaseHome):
+    """Baseline MESI home node with a sparse directory."""
+
+    def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
+        super().__init__(config, mesh, dram, cores, stats)
+        self.directory = directory
+
+    # ------------------------------------------------------------------
+    # Tracking hooks (overridden by scheme variants)
+    # ------------------------------------------------------------------
+
+    def _find(self, addr: int, core: int, now: int, out: "AccessOutcome | None") -> "CohInfo | None":
+        """Locate the tracking info for ``addr``, or None if untracked."""
+        return self.directory.lookup(addr)
+
+    def _install(self, addr: int, coh: CohInfo, now: int) -> None:
+        """Start tracking ``addr``; back-invalidates any directory victim."""
+        victim = self.directory.allocate(addr, coh)
+        if victim is not None:
+            self._back_invalidate(*victim, now)
+
+    def _drop(self, addr: int, coh: CohInfo) -> None:
+        """Stop tracking ``addr`` (no private copies remain)."""
+        self.directory.remove(addr)
+
+    def _after_update(self, addr: int, coh: CohInfo, now: int) -> None:
+        """Hook called after mutating a tracked block's CohInfo."""
+        if coh.is_idle:
+            self._drop(addr, coh)
+
+    def _back_invalidate(self, addr: int, coh: CohInfo, now: int) -> None:
+        """Invalidate every private copy of an evicted tracking entry."""
+        self.stats.back_invalidations += len(coh.holders())
+        self._invalidate_holders(addr, coh, now)
+
+    # ------------------------------------------------------------------
+    # LLC helpers
+    # ------------------------------------------------------------------
+
+    def _fill_llc(self, addr: int, state: LLCState, now: int):
+        bank = self.banks[self.bank_of(addr)]
+        line, victim = bank.insert_block(addr, state)
+        if victim is not None:
+            self._handle_llc_victim(victim, now)
+        return line
+
+    def _handle_llc_victim(self, victim, now: int) -> None:
+        self._flush_residency(victim)
+        if victim.state is LLCState.DIRTY:
+            self._dram_write(victim.tag, now)
+
+    def _ensure_llc_data(self, addr: int, dirty: bool, now: int) -> None:
+        """Deposit written-back data into the LLC (allocate on absence)."""
+        bank = self.banks[self.bank_of(addr)]
+        line, _ = bank.lookup(addr, touch=False)
+        if line is None:
+            self._fill_llc(addr, LLCState.DIRTY if dirty else LLCState.CLEAN, now)
+        else:
+            if dirty:
+                line.state = LLCState.DIRTY
+            bank.data_writes += 1
+
+    # ------------------------------------------------------------------
+    # The protocol
+    # ------------------------------------------------------------------
+
+    def handle_access(
+        self,
+        core: int,
+        addr: int,
+        kind: AccessKind,
+        now: int,
+        upgrade: bool = False,
+    ) -> AccessOutcome:
+        out = AccessOutcome()
+        home = self.bank_of(addr)
+        bank = self.banks[home]
+        self.traffic.control(MessageClass.PROCESSOR)  # the request
+        coh = self._find(addr, core, now, out)
+        line, _ = bank.lookup(addr)
+
+        if upgrade:
+            self._serve_upgrade(core, addr, coh, home, now, out)
+            return out
+
+        shared_read = kind.is_read and coh is not None and coh.is_shared
+        if line is not None:
+            if kind.is_read:
+                line.total_reads += 1
+            if shared_read:
+                line.fwd_reads += 1
+
+        if coh is None or coh.is_idle:
+            self._serve_untracked(core, addr, kind, line, home, now, out)
+        elif coh.is_exclusive:
+            self._serve_exclusive(core, addr, kind, coh, home, now, out)
+        else:
+            self._serve_shared(core, addr, kind, coh, line, home, now, out)
+        return out
+
+    # -- untracked: no private copies anywhere ---------------------------
+
+    def _serve_untracked(self, core, addr, kind, line, home, now, out) -> None:
+        latency = self._two_hop(core, home)
+        if line is None or line.state is LLCState.INVALID:
+            latency += self._dram_fetch(addr, now, out)
+            line = self._fill_llc(addr, LLCState.CLEAN, now)
+            if kind.is_read:
+                line.total_reads += 1
+        coh = CohInfo()
+        if kind is AccessKind.WRITE:
+            coh.set_owner(core)
+            out.fill_state = PrivateState.MODIFIED
+        elif kind is AccessKind.IFETCH:
+            coh.add_sharer(core)
+            out.fill_state = PrivateState.SHARED
+        else:
+            coh.set_owner(core)
+            out.fill_state = PrivateState.EXCLUSIVE
+        self._install(addr, coh, now)
+        line.note_holders(coh)
+        self.traffic.data(MessageClass.PROCESSOR)  # the data response
+        out.latency = latency
+
+    # -- exclusively owned by another core -------------------------------
+
+    def _serve_exclusive(self, core, addr, kind, coh, home, now, out) -> None:
+        owner = coh.owner
+        if owner == core:
+            raise ProtocolError(
+                f"core {core} missed on block {addr:#x} it supposedly owns"
+            )
+        out.hops = 3
+        out.latency = self._three_hop(core, home, owner)
+        self.traffic.control(MessageClass.COHERENCE)  # forwarded request
+        self.traffic.data(MessageClass.PROCESSOR)  # owner -> requester data
+        self.traffic.control(MessageClass.COHERENCE)  # busy-clear to home
+        if kind is AccessKind.WRITE:
+            prior = self.cores[owner].invalidate(addr)
+            if prior is PrivateState.INVALID:
+                raise ProtocolError(f"stale owner for block {addr:#x}")
+            self.stats.invalidations += 1
+            coh.set_owner(core)
+            out.fill_state = PrivateState.MODIFIED
+        else:
+            prior = self.cores[owner].downgrade(addr)
+            if prior is PrivateState.MODIFIED:
+                # The downgrade deposits the dirty block at the home LLC.
+                self.traffic.data(MessageClass.WRITEBACK)
+                self._ensure_llc_data(addr, dirty=True, now=now)
+            coh.add_sharer(core)
+            out.fill_state = PrivateState.SHARED
+        self._after_update(addr, coh, now)
+
+    # -- shared by one or more cores --------------------------------------
+
+    def _serve_shared(self, core, addr, kind, coh, line, home, now, out) -> None:
+        line_valid = line is not None and line.state in (
+            LLCState.CLEAN,
+            LLCState.DIRTY,
+        )
+        if kind is AccessKind.WRITE:
+            holders = coh.sharer_list()
+            inval_path = self._invalidation_latency(home, holders, core)
+            if line_valid:
+                base = self._two_hop(core, home)
+            else:
+                forwarder = self._closest_sharer(coh, home)
+                base = self._three_hop(core, home, forwarder)
+                out.hops = 3
+                self.traffic.control(MessageClass.COHERENCE)
+            self.traffic.data(MessageClass.PROCESSOR)
+            self._invalidate_holders(addr, coh, now, data_to_requester=True)
+            coh.set_owner(core)
+            out.fill_state = PrivateState.MODIFIED
+            out.latency = max(
+                base, self.mesh.latency(core, home) + self.config.llc_tag_latency + inval_path
+            )
+        else:
+            if line_valid:
+                out.latency = self._two_hop(core, home)
+                self.traffic.data(MessageClass.PROCESSOR)
+            else:
+                # Non-inclusive LLC lost the clean copy: forward to the
+                # elected sharer and refill the LLC alongside.
+                forwarder = self._closest_sharer(coh, home)
+                out.hops = 3
+                out.latency = self._three_hop(core, home, forwarder)
+                self.traffic.control(MessageClass.COHERENCE)
+                self.traffic.data(MessageClass.PROCESSOR)
+                self.traffic.control(MessageClass.COHERENCE)
+                self.traffic.data(MessageClass.WRITEBACK)  # LLC refill
+                line = self._fill_llc(addr, LLCState.CLEAN, now)
+            coh.add_sharer(core)
+            out.fill_state = PrivateState.SHARED
+        if line is not None:
+            line.note_holders(coh)
+        self._after_update(addr, coh, now)
+
+    # -- S -> M upgrades ----------------------------------------------------
+
+    def _serve_upgrade(self, core, addr, coh, home, now, out) -> None:
+        out.is_upgrade = True
+        if coh is None or not coh.holds(core):
+            raise ProtocolError(
+                f"core {core} upgrades block {addr:#x} the tracker does not "
+                f"record it sharing"
+            )
+        holders = [h for h in coh.sharer_list() if h != core]
+        inval_path = self._invalidation_latency(home, holders, core)
+        for holder in holders:
+            prior = self.cores[holder].invalidate(addr)
+            if prior is PrivateState.INVALID:
+                raise ProtocolError(f"stale sharer for block {addr:#x}")
+            self.traffic.control(MessageClass.COHERENCE)
+            self.traffic.control(MessageClass.COHERENCE)
+            self.stats.invalidations += 1
+        coh.set_owner(core)
+        self.traffic.control(MessageClass.PROCESSOR)  # grant
+        request_leg = self.mesh.latency(core, home) + self.config.llc_tag_latency
+        out.latency = request_leg + max(self.mesh.latency(home, core), inval_path)
+        out.hops = 2 if not holders else 3
+        self._after_update(addr, coh, now)
+
+    # ------------------------------------------------------------------
+    # Eviction notices
+    # ------------------------------------------------------------------
+
+    def handle_private_eviction(
+        self, core: int, addr: int, state: PrivateState, now: int
+    ) -> None:
+        if state is PrivateState.MODIFIED:
+            self.traffic.data(MessageClass.WRITEBACK)
+            self._ensure_llc_data(addr, dirty=True, now=now)
+        else:
+            self.traffic.control(MessageClass.WRITEBACK)
+        self.traffic.control(MessageClass.WRITEBACK)  # acknowledgement
+        coh = self._find(addr, core, now, None)
+        if coh is None:
+            return
+        coh.remove(core)
+        self._after_update(addr, coh, now)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def _tracks(self, addr: int, core: int) -> bool:
+        """True when the tracking structures record ``core`` holding
+        ``addr`` (used by the reverse invariant)."""
+        coh = self.directory.lookup(addr, touch=False)
+        return coh is not None and coh.holds(core)
+
+    def check_invariants(self) -> None:
+        """Tracking and private caches must exactly mirror each other."""
+        if hasattr(self.directory, "iter_entries"):
+            for addr, coh in self.directory.iter_entries():
+                for holder in coh.holders():
+                    state = self.cores[holder].state_of(addr)
+                    if state is PrivateState.INVALID:
+                        raise ProtocolError(
+                            f"directory records core {holder} holding "
+                            f"{addr:#x} but its cache does not"
+                        )
+                    if coh.is_exclusive and not state.is_exclusive:
+                        raise ProtocolError(
+                            f"directory says {addr:#x} exclusive at {holder}, "
+                            f"cache says {state}"
+                        )
+        self._check_single_writer()
+        for core in self.cores:
+            for addr, _ in core.resident_blocks():
+                if not self._tracks(addr, core.core_id):
+                    raise ProtocolError(
+                        f"core {core.core_id} caches {addr:#x} but no "
+                        f"tracking structure records it"
+                    )
+
+    def _check_single_writer(self) -> None:
+        exclusive_holder: "dict[int, int]" = {}
+        holders: "dict[int, list[int]]" = {}
+        for core in self.cores:
+            for addr, state in core.resident_blocks():
+                holders.setdefault(addr, []).append(core.core_id)
+                if state.is_exclusive:
+                    if addr in exclusive_holder:
+                        raise ProtocolError(
+                            f"blocks {addr:#x} exclusively held by both "
+                            f"{exclusive_holder[addr]} and {core.core_id}"
+                        )
+                    exclusive_holder[addr] = core.core_id
+        for addr, holder in exclusive_holder.items():
+            if len(holders[addr]) > 1:
+                raise ProtocolError(
+                    f"block {addr:#x} held exclusively by {holder} while "
+                    f"also cached by {holders[addr]}"
+                )
+
+
+class SharedOnlyHome(SparseHome):
+    """Idealized design tracking only shared blocks in the directory.
+
+    Private and exclusively-owned blocks live in an unbounded zero-cost
+    map (the paper's Fig. 3 experiment explicitly ignores its overhead).
+    A block moves into the limited directory when it enters the S state
+    with two distinct sharers, and back out when it becomes exclusively
+    owned again.
+    """
+
+    def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
+        super().__init__(config, mesh, dram, cores, stats, directory)
+        self._unbounded: "dict[int, CohInfo]" = {}
+
+    def _find(self, addr, core, now, out):
+        coh = self._unbounded.get(addr)
+        if coh is not None:
+            return coh
+        return self.directory.lookup(addr)
+
+    def _install(self, addr, coh, now):
+        if coh.sharer_count() >= 2:
+            super()._install(addr, coh, now)
+        else:
+            self._unbounded[addr] = coh
+
+    def _drop(self, addr, coh):
+        if self._unbounded.pop(addr, None) is None:
+            self.directory.remove(addr)
+
+    def _after_update(self, addr, coh, now):
+        if coh.is_idle:
+            self._drop(addr, coh)
+            return
+        if addr in self._unbounded:
+            if coh.sharer_count() >= 2:
+                del self._unbounded[addr]
+                super()._install(addr, coh, now)
+        else:
+            if coh.is_exclusive:
+                # The limited directory only holds shared blocks.
+                if self.directory.remove(addr) is not None:
+                    self._unbounded[addr] = coh
+
+    def _tracks(self, addr, core):
+        coh = self._unbounded.get(addr)
+        if coh is not None and coh.holds(core):
+            return True
+        return super()._tracks(addr, core)
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for addr, coh in self._unbounded.items():
+            if coh.sharer_count() >= 2:
+                raise ProtocolError(
+                    f"block {addr:#x} with two sharers left in the "
+                    f"unbounded private tracker"
+                )
+
+
+class StashHome(SparseHome):
+    """Stash directory: drop private entries, broadcast to recover."""
+
+    def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
+        super().__init__(config, mesh, dram, cores, stats, directory)
+        self.stash = StashState()
+
+    def _install(self, addr, coh, now):
+        victim = self.directory.allocate(addr, coh)
+        if victim is None:
+            return
+        vaddr, vcoh = victim
+        if vcoh.is_exclusive:
+            # Leave the private copy in place, untracked.
+            self.stash.stash(vaddr, vcoh.owner)
+        else:
+            self._back_invalidate(vaddr, vcoh, now)
+
+    def _find(self, addr, core, now, out):
+        coh = self.directory.lookup(addr)
+        if coh is not None:
+            return coh
+        holder = self.stash.owner_of(addr)
+        if holder is None:
+            return None
+        # Broadcast recovery: query every core, collect responses.
+        self.stash.unstash(addr)
+        self.stats.broadcasts += 1
+        num_cores = self.config.num_cores
+        self.traffic.control(MessageClass.COHERENCE, count=num_cores)
+        self.traffic.control(MessageClass.COHERENCE, count=num_cores)
+        if out is not None:
+            max_span = (
+                (self.mesh.width - 1 + self.mesh.height - 1) * self.mesh.hop_cycles
+            )
+            out.latency += 2 * max_span
+        if not self.cores[holder].holds(addr):
+            # The stashed copy was silently gone (should not happen: all
+            # evictions are notified); treat as untracked.
+            return None
+        coh = CohInfo(owner=holder)
+        self._install(addr, coh, now)
+        return self.directory.lookup(addr)
+
+    def handle_private_eviction(self, core, addr, state, now):
+        if self.stash.owner_of(addr) == core:
+            self.stash.unstash(addr)
+        super().handle_private_eviction(core, addr, state, now)
+
+    def _tracks(self, addr, core):
+        if self.stash.owner_of(addr) == core:
+            return True
+        return super()._tracks(addr, core)
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for addr in list(self.stash._stashed):
+            holder = self.stash.owner_of(addr)
+            if not self.cores[holder].holds(addr):
+                raise ProtocolError(
+                    f"stashed block {addr:#x} is not cached by core {holder}"
+                )
+
+
+class MgdHome(SparseHome):
+    """Multi-grain directory home: region entries for private data."""
+
+    def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
+        if not isinstance(directory, MultiGrainDirectory):
+            raise ProtocolError("MgdHome requires a MultiGrainDirectory")
+        super().__init__(config, mesh, dram, cores, stats, directory)
+        self._region_hit: "RegionEntry | None" = None
+
+    def _find(self, addr, core, now, out):
+        self._region_hit = None
+        coh = self.directory.lookup_block(addr)
+        if coh is not None:
+            return coh
+        region_entry = self.directory.lookup_region(addr)
+        if region_entry is None:
+            return None
+        if region_entry.owner == core:
+            # The owner extends its own private region.
+            self._region_hit = region_entry
+            return None
+        # Another core touches a privately tracked region: demote the
+        # region to block-grain entries.
+        self._demote_region(addr, region_entry, now, out)
+        return self.directory.lookup_block(addr)
+
+    def _demote_region(self, addr, region_entry, now, out) -> None:
+        region = self.directory.region_of(addr)
+        self.directory.remove_region(region)
+        owner = region_entry.owner
+        for baddr in region_entry.blocks(region):
+            state = self.cores[owner].state_of(baddr)
+            if state is PrivateState.INVALID:
+                continue
+            self.traffic.control(MessageClass.COHERENCE)
+            victim = self.directory.allocate_block(baddr, CohInfo(owner=owner))
+            self._handle_mgd_victim(victim, now)
+        if out is not None:
+            out.latency += self.config.llc_tag_latency
+
+    def _install(self, addr, coh, now):
+        if coh.is_exclusive:
+            region = self.directory.region_of(addr)
+            offset = addr % BLOCKS_PER_REGION
+            if self._region_hit is not None and self._region_hit.owner == coh.owner:
+                self._region_hit.presence |= 1 << offset
+                return
+            entry = self.directory.lookup_region(addr)
+            if entry is not None and entry.owner == coh.owner:
+                entry.presence |= 1 << offset
+                return
+            if entry is None:
+                victim = self.directory.allocate_region(
+                    region, RegionEntry(coh.owner, 1 << offset)
+                )
+                self._handle_mgd_victim(victim, now)
+                return
+        victim = self.directory.allocate_block(addr, coh)
+        self._handle_mgd_victim(victim, now)
+
+    def _handle_mgd_victim(self, victim, now) -> None:
+        if victim is None:
+            return
+        kind, key, payload = victim
+        if kind == "block":
+            self._back_invalidate(key, payload, now)
+        else:
+            owner = payload.owner
+            for baddr in payload.blocks(key):
+                state = self.cores[owner].invalidate(baddr)
+                if state is PrivateState.INVALID:
+                    continue
+                self.stats.invalidations += 1
+                self.stats.back_invalidations += 1
+                self.traffic.control(MessageClass.COHERENCE)
+                if state is PrivateState.MODIFIED:
+                    self.traffic.data(MessageClass.COHERENCE)
+                    self._store_dirty_data(baddr, now)
+                else:
+                    self.traffic.control(MessageClass.COHERENCE)
+
+    def _drop(self, addr, coh):
+        self.directory.remove_block(addr)
+
+    def _after_update(self, addr, coh, now):
+        if coh.is_idle:
+            self._drop(addr, coh)
+
+    def handle_private_eviction(self, core, addr, state, now):
+        if state is PrivateState.MODIFIED:
+            self.traffic.data(MessageClass.WRITEBACK)
+            self._ensure_llc_data(addr, dirty=True, now=now)
+        else:
+            self.traffic.control(MessageClass.WRITEBACK)
+        self.traffic.control(MessageClass.WRITEBACK)
+        coh = self.directory.lookup_block(addr)
+        if coh is not None:
+            coh.remove(core)
+            self._after_update(addr, coh, now)
+            return
+        region_entry = self.directory.lookup_region(addr)
+        if region_entry is not None and region_entry.owner == core:
+            region_entry.presence &= ~(1 << (addr % BLOCKS_PER_REGION))
+            if region_entry.presence == 0:
+                self.directory.remove_region(self.directory.region_of(addr))
+
+    def _tracks(self, addr, core):
+        coh = self.directory.lookup_block(addr, touch=False)
+        if coh is not None and coh.holds(core):
+            return True
+        entry = self.directory.lookup_region(addr, touch=False)
+        return (
+            entry is not None
+            and entry.owner == core
+            and bool(entry.presence >> (addr % BLOCKS_PER_REGION) & 1)
+        )
+
+    def check_invariants(self) -> None:
+        self._check_single_writer()
+        for core in self.cores:
+            for addr, _ in core.resident_blocks():
+                if not self._tracks(addr, core.core_id):
+                    raise ProtocolError(
+                        f"core {core.core_id} caches {addr:#x} but MgD "
+                        f"does not track it"
+                    )

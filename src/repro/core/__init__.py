@@ -1,0 +1,20 @@
+"""The paper's contribution: STRA estimation, the tiny directory with its
+DSTRA / DSTRA+gNRU allocation policies, and the dynamic LLC spill policy.
+"""
+
+from repro.core.stra import StraCounters, stra_category, STRA_COUNTER_MAX
+from repro.core.tiny_directory import TinyDirectory, TinyEntry, AllocationPolicy
+from repro.core.gnru import GenerationEstimator
+from repro.core.spill import DynamicSpillPolicy, SpillConfig
+
+__all__ = [
+    "StraCounters",
+    "stra_category",
+    "STRA_COUNTER_MAX",
+    "TinyDirectory",
+    "TinyEntry",
+    "AllocationPolicy",
+    "GenerationEstimator",
+    "DynamicSpillPolicy",
+    "SpillConfig",
+]

@@ -1,0 +1,20 @@
+"""Coherence directory organizations.
+
+The baseline :class:`SparseDirectory` and the competing organizations the
+paper evaluates against (shared-only tracking, skew-associative Z-cache,
+multi-grain MgD, Stash). The tiny directory itself lives in
+:mod:`repro.core`, since it is the paper's contribution.
+"""
+
+from repro.directory.sparse import SparseDirectory
+from repro.directory.zcache import ZCacheDirectory
+from repro.directory.mgd import MultiGrainDirectory, BLOCKS_PER_REGION
+from repro.directory.stash import StashState
+
+__all__ = [
+    "SparseDirectory",
+    "ZCacheDirectory",
+    "MultiGrainDirectory",
+    "BLOCKS_PER_REGION",
+    "StashState",
+]

@@ -1,0 +1,166 @@
+"""Multi-grain directory (MgD) container, after Zebchuk et al. [47].
+
+MgD tracks *private regions* with a single directory entry each: a region
+entry records the owning core and a presence bitmap of the region's blocks
+cached by that core. Blocks touched by more than one core fall back to
+ordinary block-grain entries. This makes each entry cover up to a 1 KB
+region (sixteen 64-byte blocks) of private data, which is where MgD's
+entry savings come from — and why sharing-heavy workloads degrade once
+the directory gets small (paper Fig. 22).
+
+Region and block entries live in the same set-associative NRU array; keys
+are tagged with a grain bit so the two kinds never alias.
+"""
+
+from __future__ import annotations
+
+from repro.cache.sets import SetAssocArray
+from repro.coherence.info import CohInfo
+from repro.errors import ConfigError
+
+#: Blocks per tracked region (1 KB regions of 64-byte blocks).
+BLOCKS_PER_REGION = 16
+
+
+class RegionEntry:
+    """Tracking entry for a region privately cached by one core."""
+
+    __slots__ = ("owner", "presence")
+
+    def __init__(self, owner: int, presence: int = 0) -> None:
+        self.owner = owner
+        #: Bitmask over the region's BLOCKS_PER_REGION blocks.
+        self.presence = presence
+
+    def blocks(self, region: int) -> "list[int]":
+        """Block addresses of the region marked present."""
+        base = region * BLOCKS_PER_REGION
+        return [
+            base + offset
+            for offset in range(BLOCKS_PER_REGION)
+            if self.presence >> offset & 1
+        ]
+
+
+class MultiGrainDirectory:
+    """A banked multi-grain (region + block) directory."""
+
+    _BLOCK = 0
+    _REGION = 1
+
+    def __init__(
+        self,
+        total_entries: int,
+        num_banks: int,
+        assoc: int = 8,
+    ) -> None:
+        if total_entries < num_banks:
+            raise ConfigError(
+                f"MgD of {total_entries} entries cannot be split into "
+                f"{num_banks} slices"
+            )
+        self.total_entries = total_entries
+        self.num_banks = num_banks
+        entries_per_slice = total_entries // num_banks
+        slice_assoc = min(assoc, entries_per_slice)
+        num_sets = max(1, entries_per_slice // slice_assoc)
+        self._slices = [
+            SetAssocArray(num_sets, slice_assoc, "nru")
+            for _ in range(num_banks)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.allocations = 0
+        self.evictions = 0
+
+    # Regions and blocks are homed by their *block* bank so that a region
+    # entry lives in the slice of its first block's bank; the grain bit
+    # keeps the keys disjoint.
+
+    def _locate(self, key: int, bank: int) -> "tuple[SetAssocArray, int]":
+        slice_ = self._slices[bank]
+        return slice_, slice_.set_index(key)
+
+    @staticmethod
+    def region_of(addr: int) -> int:
+        """Region id of block address ``addr``."""
+        return addr // BLOCKS_PER_REGION
+
+    def _block_key(self, addr: int) -> int:
+        return (addr // self.num_banks) << 1 | self._BLOCK
+
+    def _region_key(self, region: int) -> int:
+        return region << 1 | self._REGION
+
+    def _bank_of_block(self, addr: int) -> int:
+        return addr % self.num_banks
+
+    def _bank_of_region(self, region: int) -> int:
+        return (region * BLOCKS_PER_REGION) % self.num_banks
+
+    # -- block-grain entries -------------------------------------------
+
+    def lookup_block(self, addr: int, touch: bool = True) -> "CohInfo | None":
+        """Find a block-grain entry for ``addr``."""
+        slice_, set_index = self._locate(
+            self._block_key(addr), self._bank_of_block(addr)
+        )
+        line = slice_.lookup(set_index, self._block_key(addr), touch=touch)
+        return None if line is None else line.payload
+
+    def lookup_region(self, addr: int, touch: bool = True) -> "RegionEntry | None":
+        """Find the region entry covering ``addr``."""
+        region = self.region_of(addr)
+        slice_, set_index = self._locate(
+            self._region_key(region), self._bank_of_region(region)
+        )
+        line = slice_.lookup(set_index, self._region_key(region), touch=touch)
+        return None if line is None else line.payload
+
+    def allocate_block(self, addr: int, coh: CohInfo):
+        """Install a block entry; returns the victim, see :meth:`_victim`."""
+        slice_, set_index = self._locate(
+            self._block_key(addr), self._bank_of_block(addr)
+        )
+        self.allocations += 1
+        evicted = slice_.insert(set_index, self._block_key(addr), coh)
+        return self._victim(evicted, self._bank_of_block(addr))
+
+    def allocate_region(self, region: int, entry: RegionEntry):
+        """Install a region entry; returns the victim, see :meth:`_victim`."""
+        slice_, set_index = self._locate(
+            self._region_key(region), self._bank_of_region(region)
+        )
+        self.allocations += 1
+        evicted = slice_.insert(set_index, self._region_key(region), entry)
+        return self._victim(evicted, self._bank_of_region(region))
+
+    def _victim(self, evicted, bank: int):
+        """Decode an evicted line to ('block', addr, CohInfo) or
+        ('region', region, RegionEntry)."""
+        if evicted is None:
+            return None
+        self.evictions += 1
+        if evicted.tag & 1 == self._REGION:
+            return "region", evicted.tag >> 1, evicted.payload
+        return "block", (evicted.tag >> 1) * self.num_banks + bank, evicted.payload
+
+    def remove_block(self, addr: int) -> "CohInfo | None":
+        """Drop the block entry for ``addr``."""
+        slice_, set_index = self._locate(
+            self._block_key(addr), self._bank_of_block(addr)
+        )
+        line = slice_.remove(set_index, self._block_key(addr))
+        return None if line is None else line.payload
+
+    def remove_region(self, region: int) -> "RegionEntry | None":
+        """Drop the region entry for ``region``."""
+        slice_, set_index = self._locate(
+            self._region_key(region), self._bank_of_region(region)
+        )
+        line = slice_.remove(set_index, self._region_key(region))
+        return None if line is None else line.payload
+
+    def occupancy(self) -> int:
+        """Number of live entries (regions count once)."""
+        return sum(slice_.occupancy() for slice_ in self._slices)

@@ -1,0 +1,5 @@
+"""CACTI-style analytical energy model for the LLC and directories."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown, directory_kilobytes
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "directory_kilobytes"]

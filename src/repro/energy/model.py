@@ -1,0 +1,126 @@
+"""Analytical SRAM energy model (substitute for CACTI/McPAT, Fig. 21).
+
+The paper feeds the LLC and sparse-directory geometries into CACTI at
+22 nm and reports dynamic, leakage, and total energy normalized between
+configurations. CACTI is unavailable offline, so this module provides the
+standard first-order scaling laws:
+
+* dynamic energy per access grows roughly with the square root of the
+  array's capacity (bitline/wordline lengths of a banked SRAM),
+* leakage power grows linearly with capacity,
+* leakage energy is leakage power integrated over execution time.
+
+The absolute units are arbitrary (we report normalized figures, exactly
+like the paper); the *ordering* and rough ratios between structure sizes
+are what the scaling laws preserve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.config import SystemConfig
+from repro.types import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals for one simulated run (arbitrary units)."""
+
+    dynamic: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        """Dynamic plus leakage energy."""
+        return self.dynamic + self.leakage
+
+
+def directory_kilobytes(config: SystemConfig, ratio: float, tiny: bool = False) -> float:
+    """Storage footprint of a directory of ``ratio x`` size, in KB.
+
+    Entry width follows the paper: a full-map sharer vector plus state
+    and tag bits; tiny-directory entries carry twelve STRAC/OAC bits, the
+    ten-bit timestamp, and the R/EP bits on top (155 bits plus tag at 128
+    cores).
+    """
+    entries = config.directory_entries(ratio)
+    entry_bits = config.num_cores + 3  # sharer vector + state bits
+    if tiny:
+        entry_bits += 12 + 10 + 2  # STRAC/OAC, timestamp, R/EP
+    tag_bits = 35
+    return entries * (entry_bits + tag_bits) / 8 / 1024
+
+
+class EnergyModel:
+    """Capacity-scaled SRAM energy model."""
+
+    #: Dynamic energy per access: ``base + slope * sqrt(KB)``.
+    DYNAMIC_BASE = 0.01
+    DYNAMIC_SLOPE = 0.004
+    #: Leakage power per KB per cycle. Calibrated so that, at the paper's
+    #: 22 nm 128-core geometry (a ~43 MB LLC+directory SRAM budget) and
+    #: the harness's run lengths, leakage energy dominates total energy —
+    #: the regime CACTI reports and the premise of the paper's Fig. 21.
+    LEAKAGE_PER_KB_CYCLE = 2.0e-6
+
+    def access_energy(self, kilobytes: float) -> float:
+        """Dynamic energy of one access to a ``kilobytes``-sized array."""
+        return self.DYNAMIC_BASE + self.DYNAMIC_SLOPE * math.sqrt(max(kilobytes, 0.0))
+
+    def leakage_energy(self, kilobytes: float, cycles: int) -> float:
+        """Leakage energy of the array over ``cycles``."""
+        return self.LEAKAGE_PER_KB_CYCLE * kilobytes * cycles
+
+    # ------------------------------------------------------------------
+
+    def llc_energy(self, config: SystemConfig, stats) -> EnergyBreakdown:
+        """LLC tag + data array energy for a finished run."""
+        data_kb = config.llc_blocks * BLOCK_SIZE / 1024
+        tag_kb = config.llc_blocks * 40 / 8 / 1024
+        # Per-bank arrays are what an access actually touches.
+        bank_data_kb = data_kb / config.num_banks
+        bank_tag_kb = tag_kb / config.num_banks
+        structures = stats.structures
+        tag_lookups = structures.get("llc_tag_lookups", stats.llc_transactions)
+        data_ops = structures.get(
+            "llc_data_writes", 0
+        ) + stats.llc_transactions  # one data read per transaction
+        dynamic = tag_lookups * self.access_energy(bank_tag_kb) + data_ops * (
+            self.access_energy(bank_data_kb)
+        )
+        leakage = self.leakage_energy(data_kb + tag_kb, stats.cycles)
+        return EnergyBreakdown(dynamic, leakage)
+
+    def directory_energy(
+        self,
+        config: SystemConfig,
+        stats,
+        directory_kb: float,
+        lookups_key: str = "dir_lookups",
+        allocations_key: str = "dir_allocations",
+    ) -> EnergyBreakdown:
+        """Directory array energy for a finished run."""
+        structures = stats.structures
+        ops = structures.get(lookups_key, 0) + structures.get(allocations_key, 0)
+        bank_kb = directory_kb / config.num_banks
+        dynamic = ops * self.access_energy(bank_kb)
+        leakage = self.leakage_energy(directory_kb, stats.cycles)
+        return EnergyBreakdown(dynamic, leakage)
+
+    def system_energy(
+        self, config: SystemConfig, stats, directory_kb: float, tiny: bool = False
+    ) -> EnergyBreakdown:
+        """Combined LLC + directory energy (the Fig. 21 quantity)."""
+        llc = self.llc_energy(config, stats)
+        keys = ("tiny_lookups", "tiny_allocations") if tiny else (
+            "dir_lookups",
+            "dir_allocations",
+        )
+        directory = self.directory_energy(
+            config, stats, directory_kb, lookups_key=keys[0], allocations_key=keys[1]
+        )
+        return EnergyBreakdown(
+            llc.dynamic + directory.dynamic, llc.leakage + directory.leakage
+        )

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`~repro.sim.config.SystemConfig`."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol invariant was violated.
+
+    This indicates a bug in the simulator (or a deliberately corrupted
+    state in a test), never a property of the simulated workload.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed trace record or an access outside the configured system."""

@@ -1,0 +1,6 @@
+"""2D mesh interconnect model: hop distances, latencies, traffic metering."""
+
+from repro.interconnect.mesh import Mesh2D
+from repro.interconnect.traffic import MessageClass, TrafficMeter
+
+__all__ = ["Mesh2D", "MessageClass", "TrafficMeter"]

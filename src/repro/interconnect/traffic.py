@@ -1,0 +1,103 @@
+"""Interconnect traffic accounting.
+
+The paper's Figure 5 splits traffic into three message classes:
+
+* **processor** — private-cache miss requests and their responses,
+* **writeback** — eviction notices from the cores and their
+  acknowledgements,
+* **coherence** — requests forwarded by the home LLC bank (interventions,
+  invalidations) and the busy-clear / acknowledgement messages they
+  generate.
+
+Message sizes follow the usual convention: a control message is one
+8-byte flit; a data message carries the 64-byte block plus the header.
+Partial-reconstruction messages (the ``4 + ceil(log2 C)`` borrowed bits an
+E-state eviction carries back to the LLC, Section III-B) round up to the
+header plus two bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Size in bytes of a header-only control message.
+CONTROL_BYTES = 8
+
+#: Size in bytes of a full data-carrying message (64-byte block + header).
+DATA_BYTES = 72
+
+#: Size of an eviction notice that carries the borrowed coherence bits.
+PARTIAL_BYTES = 10
+
+
+class MessageClass(enum.Enum):
+    """Traffic class of an interconnect message (paper Fig. 5)."""
+
+    PROCESSOR = "processor"
+    WRITEBACK = "writeback"
+    COHERENCE = "coherence"
+
+
+class TrafficMeter:
+    """Accumulates interconnect bytes per :class:`MessageClass`."""
+
+    def __init__(self) -> None:
+        self._bytes = {cls: 0 for cls in MessageClass}
+        self._messages = {cls: 0 for cls in MessageClass}
+
+    def clear(self) -> None:
+        """Zero all counters in place (warmup boundary)."""
+        for cls in MessageClass:
+            self._bytes[cls] = 0
+            self._messages[cls] = 0
+
+    def record(self, message_class: MessageClass, size_bytes: int, count: int = 1) -> None:
+        """Record ``count`` messages of ``size_bytes`` each."""
+        self._bytes[message_class] += size_bytes * count
+        self._messages[message_class] += count
+
+    def control(self, message_class: MessageClass, count: int = 1) -> None:
+        """Record control (header-only) messages."""
+        self.record(message_class, CONTROL_BYTES, count)
+
+    def data(self, message_class: MessageClass, count: int = 1) -> None:
+        """Record full data messages."""
+        self.record(message_class, DATA_BYTES, count)
+
+    def partial(self, message_class: MessageClass, count: int = 1) -> None:
+        """Record partial-block reconstruction messages."""
+        self.record(message_class, PARTIAL_BYTES, count)
+
+    def bytes_for(self, message_class: MessageClass) -> int:
+        """Total bytes recorded for ``message_class``."""
+        return self._bytes[message_class]
+
+    def messages_for(self, message_class: MessageClass) -> int:
+        """Total message count recorded for ``message_class``."""
+        return self._messages[message_class]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across all classes."""
+        return sum(self._bytes.values())
+
+    def as_dict(self) -> "dict[str, int]":
+        """Bytes per class keyed by the class value (for reports)."""
+        return {cls.value: self._bytes[cls] for cls in MessageClass}
+
+    def dump(self) -> "dict[str, dict[str, int]]":
+        """Full serializable snapshot (bytes and message counts)."""
+        return {
+            "bytes": {cls.value: self._bytes[cls] for cls in MessageClass},
+            "messages": {cls.value: self._messages[cls] for cls in MessageClass},
+        }
+
+    @classmethod
+    def load(cls, payload: "dict[str, dict[str, int]]") -> "TrafficMeter":
+        """Rebuild a meter from :meth:`dump` output."""
+        meter = cls()
+        for name, value in payload.get("bytes", {}).items():
+            meter._bytes[MessageClass(name)] = value
+        for name, value in payload.get("messages", {}).items():
+            meter._messages[MessageClass(name)] = value
+        return meter

@@ -1,0 +1,5 @@
+"""Main-memory timing model."""
+
+from repro.memory.dram import DramModel
+
+__all__ = ["DramModel"]

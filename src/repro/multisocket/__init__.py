@@ -1,0 +1,10 @@
+"""Inter-socket coherence tracking (the paper's §VI future direction)."""
+
+from repro.multisocket.system import MultiSocketConfig, build_multisocket_system
+from repro.multisocket.experiment import intersocket_directory_study
+
+__all__ = [
+    "MultiSocketConfig",
+    "build_multisocket_system",
+    "intersocket_directory_study",
+]

@@ -1,0 +1,85 @@
+"""The §VI experiment: tiny directories for inter-socket tracking.
+
+Compares, for each application, the conventional 2x socket-grain sparse
+directory against (a) undersized sparse directories and (b) tiny
+directories with gNRU and dynamic spilling, at socket granularity.
+The quantity of interest is the same trade the paper's Fig. 21 shows
+on-chip: how much tracking state survives removal before performance
+moves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import Figure, _apps, _with_average
+from repro.analysis.runner import RunScale, scale_from_env
+from repro.multisocket.system import MultiSocketConfig, build_multisocket_system
+from repro.sim.config import SparseSpec, TinySpec
+from repro.sim.engine import run_trace
+from repro.sim.results import RunResult
+from repro.workloads.generator import generate_streams
+from repro.workloads.profiles import profile
+
+
+def _run(app: str, scheme, config: MultiSocketConfig, scale: RunScale) -> RunResult:
+    ms_config = MultiSocketConfig(
+        num_sockets=config.num_sockets,
+        socket_cache_kb=config.socket_cache_kb,
+        scheme=scheme,
+    )
+    system_config = ms_config.to_system_config()
+    streams = generate_streams(
+        profile(app), system_config, scale.total_accesses, seed=scale.seed
+    )
+    system = build_multisocket_system(ms_config)
+    stats = run_trace(system, streams)
+    return RunResult(app=app, scheme=getattr(scheme, "name", "?"), stats=stats)
+
+
+def intersocket_directory_study(
+    scale: "RunScale | None" = None,
+    apps=None,
+    num_sockets: int = 8,
+) -> Figure:
+    """Normalized time of inter-socket tracking schemes vs a 2x socket
+    directory (the paper's §VI proposal, quantified)."""
+    scale = scale or scale_from_env()
+    # Socket-granularity runs have few agents; shorten traces to match.
+    scale = RunScale(
+        num_cores=num_sockets,
+        total_accesses=min(scale.total_accesses, 24_000),
+        seed=scale.seed,
+        spill_window=scale.spill_window,
+    )
+    apps = _apps(apps)
+    base_config = MultiSocketConfig(num_sockets=num_sockets)
+    schemes = [
+        (SparseSpec(ratio=1 / 8), "sparse 1/8x"),
+        (SparseSpec(ratio=1 / 32), "sparse 1/32x"),
+        (
+            TinySpec(ratio=1 / 32, policy="gnru", spill=True,
+                     spill_window=scale.spill_window),
+            "tiny 1/32x",
+        ),
+        (
+            TinySpec(ratio=1 / 128, policy="gnru", spill=True,
+                     spill_window=scale.spill_window),
+            "tiny 1/128x",
+        ),
+    ]
+    values = {}
+    for app in apps:
+        baseline = _run(app, SparseSpec(ratio=2.0), base_config, scale)
+        values[app] = [
+            _run(app, scheme, base_config, scale).normalized_cycles(baseline)
+            for scheme, _ in schemes
+        ]
+    _with_average(values, len(schemes))
+    return Figure(
+        "§VI multi-socket",
+        f"inter-socket coherence tracking on {num_sockets} sockets, "
+        "normalized to a 2x socket-grain sparse directory (the paper's "
+        "proposed future direction)",
+        [label for _, label in schemes],
+        apps + ["Average"],
+        values,
+    )

@@ -1,0 +1,28 @@
+"""Simulation driver: configuration, system assembly, engine, statistics."""
+
+from repro.sim.config import (
+    SystemConfig,
+    SparseSpec,
+    InLLCSpec,
+    TinySpec,
+    MgdSpec,
+    StashSpec,
+)
+from repro.sim.system import System
+from repro.sim.engine import TraceEngine, run_trace
+from repro.sim.stats import SimStats
+from repro.sim.results import RunResult
+
+__all__ = [
+    "SystemConfig",
+    "SparseSpec",
+    "InLLCSpec",
+    "TinySpec",
+    "MgdSpec",
+    "StashSpec",
+    "System",
+    "TraceEngine",
+    "run_trace",
+    "SimStats",
+    "RunResult",
+]

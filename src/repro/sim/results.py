@@ -1,0 +1,35 @@
+"""Run-result container shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import SimStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one (application, scheme) pair."""
+
+    app: str
+    scheme: str
+    stats: SimStats
+    meta: "dict[str, object]" = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        """Execution time of the run, in core cycles."""
+        return self.stats.cycles
+
+    def normalized_cycles(self, baseline: "RunResult") -> float:
+        """Execution time normalized to ``baseline`` (paper convention)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles
+
+    def normalized_traffic(self, baseline: "RunResult") -> float:
+        """Total interconnect bytes normalized to ``baseline``."""
+        base = baseline.stats.traffic.total_bytes
+        if base == 0:
+            return 0.0
+        return self.stats.traffic.total_bytes / base

@@ -1,0 +1,299 @@
+"""Workload profiles for the paper's seventeen applications (Table II).
+
+The paper drives its simulator with execution traces of PARSEC /
+SPLASH-2 / SPEC OMP codes and PIN traces of commercial server workloads.
+Those traces are not available, so each application is modelled as a
+:class:`WorkloadProfile`: a parameterized generator of per-core access
+streams whose *sharing structure* is calibrated to the statistics the
+paper itself reports about that application:
+
+* shared-footprint fraction and maximum-sharer-count distribution
+  (Fig. 2),
+* the fraction of LLC accesses/blocks with lengthened critical paths
+  under in-LLC tracking, including the code/data split (Figs. 6-7; e.g.
+  barnes's famous 78% of allocated blocks, the commercial applications'
+  large shared-code components),
+* STRA-ratio concentration (Figs. 8-9),
+* baseline LLC miss rates (§V-A: ocean_cp 35%, 314.mgrid 78%, 324.apsi
+  12%, 330.art 63%, SPECWeb-B/E/S 14/19/18%),
+* relative LLC fill volume (SPECWeb/TPC carry out more fills).
+
+Every access stream is drawn from five address regions: a per-core
+private region (heap/stack), a read-write shared pool with per-block
+sharer windows, a small hot read-mostly shared set (the high-STRA
+blocks), a shared code region touched by instruction fetches, and a
+per-core streaming region that never reuses (the miss-rate knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters for one application."""
+
+    name: str
+    description: str
+    # -- access-mix probabilities (must sum to 1) -----------------------
+    private_fraction: float
+    shared_fraction: float
+    hot_fraction: float
+    code_fraction: float
+    stream_fraction: float
+    # -- region sizes ----------------------------------------------------
+    #: Private region size as a multiple of one L2's block capacity.
+    #: Directory pressure comes from L2 *residency* (bounded by L2
+    #: capacity), so regions smaller than the L2 still stress small
+    #: directories while keeping cold-miss trickle low in short traces.
+    private_region_factor: float = 0.9
+    #: Shared pool size as a multiple of the LLC's block capacity.
+    pool_factor: float = 0.02
+    #: Hot shared read-mostly blocks per core.
+    hot_blocks_per_core: float = 4.0
+    #: Shared code blocks per core.
+    code_blocks_per_core: float = 8.0
+    # -- write behaviour ---------------------------------------------------
+    write_fraction_private: float = 0.3
+    write_fraction_shared: float = 0.15
+    hot_write_fraction: float = 0.01
+    # -- sharing structure --------------------------------------------------
+    #: Weights of the per-block sharer-window bins [2-4], [5-8], [9-16],
+    #: [17-C] (Fig. 2 bins).
+    sharer_bin_weights: "tuple[float, float, float, float]" = (0.5, 0.25, 0.15, 0.1)
+    #: Popularity skew of pool/code blocks.
+    zipf_exponent: float = 0.9
+    #: Popularity skew of the hot shared read-mostly set. Skew gives the
+    #: set an *instantaneous working subset* -- exactly the locality the
+    #: tiny directory's DSTRA policy exploits (paper §IV).
+    hot_zipf_exponent: float = 0.8
+    #: Popularity skew of each core's private region (heap reuse is
+    #: heavily skewed in real programs; 0 means uniform).
+    private_zipf_exponent: float = 0.55
+    #: Mean compute cycles between successive accesses of one core.
+    cpi_gap: int = 24
+
+    def __post_init__(self) -> None:
+        total = (
+            self.private_fraction
+            + self.shared_fraction
+            + self.hot_fraction
+            + self.code_fraction
+            + self.stream_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(
+                f"profile {self.name}: access-mix fractions sum to {total}"
+            )
+        if not all(w >= 0 for w in self.sharer_bin_weights):
+            raise ConfigError(f"profile {self.name}: negative sharer weight")
+
+
+def _p(name, desc, private, shared, hot, code, stream, **kw) -> WorkloadProfile:
+    return WorkloadProfile(
+        name,
+        desc,
+        private_fraction=private,
+        shared_fraction=shared,
+        hot_fraction=hot,
+        code_fraction=code,
+        stream_fraction=stream,
+        **kw,
+    )
+
+
+#: The seventeen applications of Table II.
+PROFILES: "dict[str, WorkloadProfile]" = {
+    p.name: p
+    for p in [
+        _p(
+            "bodytrack",
+            "PARSEC body tracking: moderate shared footprint, noticeable "
+            "hot shared reads (>5% lengthened fills in Fig. 7)",
+            0.67, 0.12, 0.13, 0.06, 0.02,
+            sharer_bin_weights=(0.55, 0.25, 0.12, 0.08),
+            hot_blocks_per_core=28.0,
+            code_blocks_per_core=16.0,
+            pool_factor=0.015,
+        ),
+        _p(
+            "swaptions",
+            "PARSEC swaption pricing: small working set, meaningful hot "
+            "shared read set",
+            0.68, 0.10, 0.13, 0.07, 0.02,
+            sharer_bin_weights=(0.6, 0.25, 0.1, 0.05),
+            hot_blocks_per_core=24.0,
+            code_blocks_per_core=12.0,
+            pool_factor=0.01,
+        ),
+        _p(
+            "barnes",
+            "SPLASH-2 N-body: most allocated blocks are shared and "
+            "read by many cores (78% lengthened fills, Fig. 7)",
+            0.18, 0.26, 0.42, 0.10, 0.04,
+            sharer_bin_weights=(0.35, 0.3, 0.2, 0.15),
+            private_region_factor=0.35,
+            pool_factor=0.025,
+            hot_blocks_per_core=60.0,
+            code_blocks_per_core=16.0,
+            write_fraction_shared=0.06,
+            zipf_exponent=0.7,
+        ),
+        _p(
+            "ocean_cp",
+            "SPLASH-2 ocean (contiguous): nearest-neighbour sharing, "
+            "35% LLC miss rate, performance-critical 3-hop accesses",
+            0.50, 0.17, 0.08, 0.03, 0.22,
+            sharer_bin_weights=(0.8, 0.15, 0.04, 0.01),
+            private_region_factor=1.1,
+            pool_factor=0.04,
+            hot_blocks_per_core=10.0,
+            write_fraction_shared=0.3,
+        ),
+        _p(
+            "314.mgrid",
+            "SPEC OMP multigrid: streaming grids, 78% LLC miss rate, "
+            "little block-level sharing",
+            0.16, 0.04, 0.03, 0.01, 0.76,
+            sharer_bin_weights=(0.85, 0.1, 0.04, 0.01),
+            private_region_factor=1.0,
+            hot_blocks_per_core=6.0,
+        ),
+        _p(
+            "316.applu",
+            "SPEC OMP LU solver: moderate sharing with noticeable "
+            "lengthened fills (>5% in Fig. 7)",
+            0.62, 0.12, 0.15, 0.06, 0.05,
+            sharer_bin_weights=(0.7, 0.2, 0.07, 0.03),
+            private_region_factor=0.9,
+            hot_blocks_per_core=20.0,
+        ),
+        _p(
+            "324.apsi",
+            "SPEC OMP mesoscale model: 12% LLC miss rate, mostly "
+            "private data",
+            0.73, 0.11, 0.08, 0.04, 0.04,
+            sharer_bin_weights=(0.75, 0.17, 0.06, 0.02),
+            private_region_factor=0.9,
+            hot_blocks_per_core=10.0,
+        ),
+        _p(
+            "330.art",
+            "SPEC OMP neural network: 63% LLC miss rate, small shared "
+            "training set",
+            0.24, 0.09, 0.08, 0.03, 0.56,
+            sharer_bin_weights=(0.6, 0.25, 0.1, 0.05),
+            private_region_factor=0.9,
+            hot_blocks_per_core=12.0,
+        ),
+        _p(
+            "SPECJBB",
+            "Java middleware: large shared heap and code footprint, "
+            "many LLC fills",
+            0.48, 0.18, 0.13, 0.18, 0.03,
+            sharer_bin_weights=(0.45, 0.25, 0.18, 0.12),
+            pool_factor=0.05,
+            hot_blocks_per_core=20.0,
+            code_blocks_per_core=48.0,
+            write_fraction_shared=0.2,
+        ),
+        _p(
+            "SPECWeb-B",
+            "Apache banking: big shared footprint, 14% miss rate, "
+            "code-heavy lengthened accesses",
+            0.36, 0.19, 0.12, 0.24, 0.09,
+            sharer_bin_weights=(0.35, 0.25, 0.22, 0.18),
+            pool_factor=0.06,
+            hot_blocks_per_core=16.0,
+            code_blocks_per_core=64.0,
+            write_fraction_shared=0.18,
+        ),
+        _p(
+            "SPECWeb-E",
+            "Apache e-commerce: big shared footprint, 19% miss rate",
+            0.34, 0.19, 0.11, 0.24, 0.12,
+            sharer_bin_weights=(0.35, 0.25, 0.22, 0.18),
+            pool_factor=0.06,
+            hot_blocks_per_core=16.0,
+            code_blocks_per_core=64.0,
+            write_fraction_shared=0.18,
+        ),
+        _p(
+            "SPECWeb-S",
+            "Apache support: big shared footprint, 18% miss rate",
+            0.35, 0.19, 0.11, 0.24, 0.11,
+            sharer_bin_weights=(0.35, 0.25, 0.22, 0.18),
+            pool_factor=0.06,
+            hot_blocks_per_core=16.0,
+            code_blocks_per_core=64.0,
+            write_fraction_shared=0.18,
+        ),
+        _p(
+            "TPC-C",
+            "MySQL OLTP: hot B-tree/code blocks shared widely, "
+            "large fill volume",
+            0.40, 0.21, 0.15, 0.21, 0.03,
+            sharer_bin_weights=(0.4, 0.25, 0.2, 0.15),
+            pool_factor=0.05,
+            hot_blocks_per_core=24.0,
+            code_blocks_per_core=48.0,
+            write_fraction_shared=0.25,
+            hot_write_fraction=0.02,
+        ),
+        _p(
+            "TPC-E",
+            "MySQL OLTP (brokerage): similar to TPC-C with more reads",
+            0.40, 0.22, 0.15, 0.20, 0.03,
+            sharer_bin_weights=(0.4, 0.25, 0.2, 0.15),
+            pool_factor=0.05,
+            hot_blocks_per_core=24.0,
+            code_blocks_per_core=48.0,
+            write_fraction_shared=0.15,
+        ),
+        _p(
+            "TPC-H",
+            "MySQL decision support: scan-heavy with shared hash "
+            "tables (>5% lengthened fills in Fig. 7)",
+            0.38, 0.20, 0.19, 0.18, 0.05,
+            sharer_bin_weights=(0.4, 0.27, 0.2, 0.13),
+            pool_factor=0.05,
+            code_blocks_per_core=32.0,
+            hot_blocks_per_core=28.0,
+            write_fraction_shared=0.08,
+        ),
+        _p(
+            "sunflow",
+            "SPEC JVM ray tracing: shared scene read by all threads",
+            0.52, 0.14, 0.17, 0.14, 0.03,
+            sharer_bin_weights=(0.45, 0.28, 0.17, 0.1),
+            hot_blocks_per_core=24.0,
+            code_blocks_per_core=32.0,
+            write_fraction_shared=0.05,
+        ),
+        _p(
+            "compress",
+            "SPEC JVM compression: mostly private buffers, shared "
+            "dictionary and code",
+            0.62, 0.10, 0.12, 0.13, 0.03,
+            sharer_bin_weights=(0.55, 0.25, 0.12, 0.08),
+            hot_blocks_per_core=16.0,
+            code_blocks_per_core=24.0,
+        ),
+    ]
+}
+
+#: Application names in the paper's plotting order.
+APPLICATIONS: "tuple[str, ...]" = tuple(PROFILES)
+
+
+def profile(name: str) -> WorkloadProfile:
+    """Look up a profile by application name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown application {name!r}; known: {', '.join(PROFILES)}"
+        ) from None

@@ -1,0 +1,101 @@
+"""Trace file I/O.
+
+Generated workloads can be saved to a compact ``.npz`` file and reloaded
+later, so experiments can be repeated bit-for-bit without regenerating
+(or so externally captured traces can be fed to the simulator). A trace
+file stores four parallel arrays — core, block address, access kind, and
+compute gap — plus a small JSON header with provenance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.types import Access, AccessKind
+
+#: Integer encoding of access kinds in trace files.
+_KIND_CODES = {AccessKind.READ: 0, AccessKind.WRITE: 1, AccessKind.IFETCH: 2}
+_KIND_DECODE = {code: kind for kind, code in _KIND_CODES.items()}
+
+#: Trace file format version.
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path,
+    streams: "list[list[Access]]",
+    meta: "dict | None" = None,
+) -> None:
+    """Write per-core access streams to ``path`` (``.npz`` format).
+
+    The interleaving stored is per-core program order; the engine's
+    min-clock scheduling reconstructs the global order at replay.
+    """
+    cores = []
+    addrs = []
+    kinds = []
+    gaps = []
+    for stream in streams:
+        for acc in stream:
+            cores.append(acc.core)
+            addrs.append(acc.addr)
+            kinds.append(_KIND_CODES[acc.kind])
+            gaps.append(acc.gap)
+    header = {
+        "version": FORMAT_VERSION,
+        "num_cores": len(streams),
+        "meta": meta or {},
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        core=np.asarray(cores, dtype=np.int32),
+        addr=np.asarray(addrs, dtype=np.int64),
+        kind=np.asarray(kinds, dtype=np.int8),
+        gap=np.asarray(gaps, dtype=np.int32),
+    )
+
+
+def load_trace(path) -> "tuple[list[list[Access]], dict]":
+    """Read a trace written by :func:`save_trace`.
+
+    Returns ``(streams, meta)``. Raises :class:`TraceError` on malformed
+    or incompatible files.
+    """
+    try:
+        data = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    try:
+        header = json.loads(bytes(data["header"]).decode())
+        cores = data["core"]
+        addrs = data["addr"]
+        kinds = data["kind"]
+        gaps = data["gap"]
+    except KeyError as exc:
+        raise TraceError(f"trace file {path} is missing field {exc}") from exc
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"trace file {path} has version {header.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    if not (len(cores) == len(addrs) == len(kinds) == len(gaps)):
+        raise TraceError(f"trace file {path} has inconsistent array lengths")
+    num_cores = header["num_cores"]
+    streams: "list[list[Access]]" = [[] for _ in range(num_cores)]
+    for core, addr, kind, gap in zip(
+        cores.tolist(), addrs.tolist(), kinds.tolist(), gaps.tolist()
+    ):
+        if not 0 <= core < num_cores:
+            raise TraceError(f"trace file {path}: core {core} out of range")
+        try:
+            decoded = _KIND_DECODE[kind]
+        except KeyError:
+            raise TraceError(
+                f"trace file {path}: unknown access kind code {kind}"
+            ) from None
+        streams[core].append(Access(core, addr, decoded, gap))
+    return streams, header.get("meta", {})

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import FIGURES, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "fig22" in out
+
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_every_bench_figure_has_cli_entry(self):
+        for i in range(1, 23):
+            assert f"fig{i:02d}" in FIGURES
+
+    def test_runs_one_figure(self, capsys):
+        code = main(["fig07", "--scale", "quick", "--apps", "compress"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out and "compress" in out
+
+    def test_zcache_variant(self, capsys):
+        code = main(["fig03z", "--scale", "quick", "--apps", "compress"])
+        assert code == 0
+        assert "Z-cache" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Integration tests comparing schemes on identical workloads.
+
+These check the qualitative relationships the paper's evaluation rests
+on — who wins, in which direction — on scaled-down runs.
+"""
+
+import pytest
+
+from repro.analysis.runner import RunScale, run_app
+from repro.sim.config import InLLCSpec, SparseSpec, TinySpec
+
+SCALE = RunScale(num_cores=8, total_accesses=8_000, l1_kb=2, l2_kb=8, spill_window=64)
+
+APP = "TPC-C"
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Shared runs for the comparison tests (module-scoped for speed)."""
+    return {
+        "sparse2x": run_app(APP, SparseSpec(ratio=2.0), SCALE),
+        "sparse16": run_app(APP, SparseSpec(ratio=1 / 16), SCALE),
+        "inllc": run_app(APP, InLLCSpec(), SCALE),
+        "tag_ext": run_app(APP, InLLCSpec(tag_extended=True), SCALE),
+        "tiny": run_app(
+            APP, TinySpec(ratio=1 / 32, policy="gnru", spill_window=64), SCALE
+        ),
+        "tiny_spill": run_app(
+            APP,
+            TinySpec(ratio=1 / 32, policy="gnru", spill=True, spill_window=64),
+            SCALE,
+        ),
+    }
+
+
+class TestOrderings:
+    def test_undersized_sparse_slower_than_2x(self, results):
+        assert results["sparse16"].cycles > results["sparse2x"].cycles
+
+    def test_inllc_slower_than_tag_extended(self, results):
+        """Fig. 4: borrowing data bits lengthens shared reads."""
+        assert results["inllc"].cycles > results["tag_ext"].cycles
+
+    def test_tiny_beats_inllc(self, results):
+        """Figs. 10-13: the tiny directory recovers the in-LLC loss."""
+        assert results["tiny"].cycles < results["inllc"].cycles
+
+    def test_tiny_close_to_2x(self, results):
+        """The headline claim: tiny 1/32x within a few % of 2x sparse."""
+        ratio = results["tiny_spill"].normalized_cycles(results["sparse2x"])
+        assert ratio < 1.10
+
+    def test_tiny_much_better_than_equal_size_sparse(self, results):
+        sparse32 = run_app(APP, SparseSpec(ratio=1 / 32), SCALE)
+        assert results["tiny_spill"].cycles < sparse32.cycles
+
+
+class TestLengthenedAccesses:
+    def test_baseline_never_lengthened(self, results):
+        assert results["sparse2x"].stats.lengthened == 0
+        assert results["tag_ext"].stats.lengthened == 0
+
+    def test_inllc_lengthens_shared_reads(self, results):
+        assert results["inllc"].stats.lengthened > 0
+
+    def test_tiny_reduces_lengthened(self, results):
+        assert results["tiny"].stats.lengthened < results["inllc"].stats.lengthened
+
+    def test_spill_reduces_lengthened_further(self, results):
+        assert (
+            results["tiny_spill"].stats.lengthened
+            <= results["tiny"].stats.lengthened
+        )
+
+
+class TestMissRates:
+    def test_spilling_respects_miss_rate_guarantee(self, results):
+        """Fig. 20: DynSpill's miss-rate increase stays within delta."""
+        increase = (
+            results["tiny_spill"].stats.llc_miss_rate
+            - results["sparse2x"].stats.llc_miss_rate
+        )
+        assert increase < 0.25  # delta_A, the loosest bound
+
+    def test_schemes_see_same_workload(self, results):
+        accesses = {r.stats.accesses for r in results.values()}
+        assert len(accesses) == 1
+
+
+class TestTraffic:
+    def test_inllc_coherence_traffic_exceeds_baseline(self, results):
+        """Fig. 5: forwarded shared reads add coherence traffic."""
+        base = results["sparse2x"].stats.traffic.as_dict()["coherence"]
+        inllc = results["inllc"].stats.traffic.as_dict()["coherence"]
+        assert inllc > base
+
+    def test_all_traffic_classes_nonzero(self, results):
+        for name, result in results.items():
+            for cls, amount in result.stats.traffic.as_dict().items():
+                assert amount > 0, (name, cls)

@@ -1,0 +1,95 @@
+"""Unit tests for the analytical energy model (Fig. 21 substitute)."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, directory_kilobytes
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimStats
+
+
+class TestScalingLaws:
+    def test_access_energy_grows_with_size(self):
+        model = EnergyModel()
+        assert model.access_energy(1024) > model.access_energy(64) > model.access_energy(1)
+
+    def test_access_energy_sublinear(self):
+        model = EnergyModel()
+        small = model.access_energy(64)
+        big = model.access_energy(64 * 16)
+        assert big < 16 * small  # sqrt scaling, not linear
+
+    def test_leakage_linear_in_capacity(self):
+        model = EnergyModel()
+        assert model.leakage_energy(200, 1000) == pytest.approx(
+            2 * model.leakage_energy(100, 1000)
+        )
+
+    def test_leakage_linear_in_time(self):
+        model = EnergyModel()
+        assert model.leakage_energy(100, 2000) == pytest.approx(
+            2 * model.leakage_energy(100, 1000)
+        )
+
+
+class TestDirectoryFootprint:
+    def test_paper_tiny_directory_sizes(self):
+        """§V: the 1/128x and 1/256x tiny directories cost ~47.5/23.75 KB."""
+        config = SystemConfig.paper()
+        kb_128 = directory_kilobytes(config, 1 / 128, tiny=True)
+        kb_256 = directory_kilobytes(config, 1 / 256, tiny=True)
+        assert kb_128 == pytest.approx(47.5, rel=0.15)
+        assert kb_256 == pytest.approx(23.75, rel=0.15)
+
+    def test_tiny_entries_wider_than_sparse(self):
+        config = SystemConfig.paper()
+        assert directory_kilobytes(config, 1 / 32, tiny=True) > directory_kilobytes(
+            config, 1 / 32, tiny=False
+        )
+
+    def test_ratio_scales_linearly(self):
+        config = SystemConfig.paper()
+        assert directory_kilobytes(config, 1.0) == pytest.approx(
+            2 * directory_kilobytes(config, 0.5)
+        )
+
+
+class TestSystemEnergy:
+    def _stats(self, cycles=100_000) -> SimStats:
+        stats = SimStats()
+        stats.cycles = cycles
+        stats.llc_transactions = 5_000
+        stats.structures = {
+            "llc_tag_lookups": 5_000,
+            "llc_data_writes": 2_000,
+            "dir_lookups": 5_000,
+            "dir_allocations": 1_000,
+        }
+        return stats
+
+    def test_breakdown_total(self):
+        breakdown = EnergyBreakdown(dynamic=2.0, leakage=3.0)
+        assert breakdown.total == 5.0
+
+    def test_bigger_directory_leaks_more(self):
+        config = SystemConfig.scaled(4)
+        model = EnergyModel()
+        stats = self._stats()
+        small = model.directory_energy(config, stats, directory_kb=10.0)
+        large = model.directory_energy(config, stats, directory_kb=1000.0)
+        assert large.leakage > small.leakage
+        assert large.dynamic > small.dynamic
+
+    def test_system_energy_combines_llc_and_directory(self):
+        config = SystemConfig.scaled(4)
+        model = EnergyModel()
+        stats = self._stats()
+        combined = model.system_energy(config, stats, directory_kb=100.0)
+        llc_only = model.llc_energy(config, stats)
+        assert combined.total > llc_only.total
+
+    def test_longer_run_leaks_more(self):
+        config = SystemConfig.scaled(4)
+        model = EnergyModel()
+        short = model.llc_energy(config, self._stats(cycles=1_000))
+        long = model.llc_energy(config, self._stats(cycles=1_000_000))
+        assert long.leakage > short.leakage

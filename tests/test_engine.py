@@ -1,0 +1,85 @@
+"""Unit tests for the trace engine and stats plumbing."""
+
+import pytest
+
+from repro.sim.config import SparseSpec, SystemConfig
+from repro.sim.engine import TraceEngine, run_trace
+from repro.sim.system import System
+from repro.types import Access, AccessKind
+
+
+def small_system() -> System:
+    return System(SystemConfig(num_cores=4, l1_kb=1, l2_kb=4, scheme=SparseSpec(ratio=2.0)))
+
+
+def reads(core, addrs, gap=5):
+    return [Access(core, addr, AccessKind.READ, gap) for addr in addrs]
+
+
+class TestEngineBasics:
+    def test_runs_all_accesses(self):
+        system = small_system()
+        streams = [reads(0, range(10)), reads(1, range(100, 110))]
+        stats = run_trace(system, streams, warmup_fraction=0.0)
+        assert stats.accesses == 20
+
+    def test_execution_time_is_max_core_clock(self):
+        system = small_system()
+        streams = [reads(0, range(50)), reads(1, [100])]
+        stats = run_trace(system, streams, warmup_fraction=0.0)
+        assert stats.cycles > 50 * 5  # at least the busy core's gaps
+
+    def test_too_many_streams_rejected(self):
+        system = small_system()
+        with pytest.raises(ValueError):
+            TraceEngine(system, [[] for _ in range(5)])
+
+    def test_invalid_warmup_rejected(self):
+        system = small_system()
+        with pytest.raises(ValueError):
+            TraceEngine(system, [[]], warmup_fraction=1.0)
+
+    def test_empty_streams_allowed(self):
+        system = small_system()
+        stats = run_trace(system, [[], reads(1, range(5))], warmup_fraction=0.0)
+        assert stats.accesses == 5
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self):
+        def run(warmup):
+            system = small_system()
+            streams = [reads(0, range(40))]
+            return run_trace(system, streams, warmup_fraction=warmup)
+
+        cold = run(0.0)
+        warm = run(0.5)
+        assert warm.accesses == 20
+        assert cold.accesses == 40
+        # The warm run's measured window repeats already-cached blocks.
+        assert warm.llc_misses < cold.llc_misses
+
+    def test_warmup_preserves_traffic_meter_identity(self):
+        system = small_system()
+        meter = system.stats.traffic
+        run_trace(system, [reads(0, range(20))], warmup_fraction=0.5)
+        assert system.stats.traffic is meter
+        assert meter.total_bytes > 0
+
+    def test_cycles_measure_post_warmup_region(self):
+        system = small_system()
+        streams = [reads(0, range(100))]
+        stats = run_trace(system, streams, warmup_fraction=0.5)
+        system2 = small_system()
+        full = run_trace(system2, [reads(0, range(100))], warmup_fraction=0.0)
+        assert 0 < stats.cycles < full.cycles
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self):
+        def run():
+            system = small_system()
+            streams = [reads(c, range(c * 100, c * 100 + 30)) for c in range(4)]
+            return run_trace(system, streams).cycles
+
+        assert run() == run()

@@ -1,0 +1,166 @@
+"""Integration tests for the per-figure experiment harness.
+
+Each experiment is exercised at a micro scale on a two-application
+subset; the assertions check structure (rows/columns/averages) and the
+qualitative relationships each figure exists to show.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.runner import RunScale
+
+MICRO = RunScale(num_cores=8, total_accesses=6_000, l1_kb=2, l2_kb=8, spill_window=64)
+APPS = ["barnes", "compress"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+def check_shape(figure, rows, columns):
+    assert figure.rows == rows + ["Average"]
+    assert len(figure.columns) == columns
+    for row in figure.rows:
+        assert len(figure.values[row]) == columns
+    assert figure.render().startswith(figure.figure_id)
+
+
+class TestMotivationFigures:
+    def test_fig01_shape_and_monotonicity(self):
+        figure = experiments.fig01_sparse_sizes(MICRO, apps=APPS)
+        check_shape(figure, APPS, 3)
+        averages = figure.values["Average"]
+        # Smaller directories never help on average (ocean_cp-style
+        # outliers aside, our subset is monotone).
+        assert averages[0] <= averages[1] <= averages[2]
+        assert averages[0] > 0.9
+
+    def test_fig02_percentages(self):
+        figure = experiments.fig02_sharer_distribution(MICRO, apps=APPS)
+        check_shape(figure, APPS, 5)
+        for app in APPS:
+            bins = figure.values[app][:4]
+            assert all(0.0 <= value <= 100.0 for value in bins)
+            assert figure.values[app][4] == pytest.approx(sum(bins), abs=0.1)
+
+    def test_fig02_barnes_shares_more(self):
+        figure = experiments.fig02_sharer_distribution(MICRO, apps=APPS)
+        assert figure.values["barnes"][4] > figure.values["compress"][4]
+
+    def test_fig03_shared_only(self):
+        figure = experiments.fig03_shared_only(MICRO, apps=APPS)
+        check_shape(figure, APPS, 4)
+
+    def test_fig04_borrowed_worse_than_tag_extended(self):
+        figure = experiments.fig04_in_llc_performance(MICRO, apps=APPS)
+        check_shape(figure, APPS, 2)
+        assert figure.average("data-borrowed") > figure.average("tag-extended")
+
+    def test_fig05_coherence_traffic_grows(self):
+        figure = experiments.fig05_in_llc_traffic(MICRO, apps=APPS)
+        check_shape(figure, APPS, 4)
+        assert figure.average("coherence") > 1.0
+
+    def test_fig06_lengthened_split(self):
+        figure = experiments.fig06_lengthened_accesses(MICRO, apps=APPS)
+        check_shape(figure, APPS, 3)
+        for app in APPS:
+            data, code, total = figure.values[app]
+            assert total == pytest.approx(data + code, abs=0.1)
+
+    def test_fig07_barnes_dominates(self):
+        figure = experiments.fig07_lengthened_blocks(MICRO, apps=APPS)
+        assert figure.values["barnes"][0] > figure.values["compress"][0]
+
+    def test_fig08_fig09_distributions(self):
+        blocks = experiments.fig08_stra_blocks(MICRO, apps=APPS)
+        accesses = experiments.fig09_stra_accesses(MICRO, apps=APPS)
+        for figure in (blocks, accesses):
+            check_shape(figure, APPS, 7)
+            for app in APPS:
+                assert sum(figure.values[app]) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig09_high_categories_concentrate_accesses(self):
+        """The paper's key observation: the offending-access distribution
+        is shifted toward higher STRA categories than the block
+        distribution (C6+C7 cover 54% of accesses but 12% of blocks)."""
+        blocks = experiments.fig08_stra_blocks(MICRO, apps=["barnes"])
+        accesses = experiments.fig09_stra_accesses(MICRO, apps=["barnes"])
+
+        def weighted_mean_category(values):
+            total = sum(values)
+            return sum((i + 1) * v for i, v in enumerate(values)) / total
+
+        assert weighted_mean_category(
+            accesses.values["barnes"]
+        ) >= weighted_mean_category(blocks.values["barnes"])
+
+
+class TestTinyFigures:
+    def test_tiny_performance_figure(self):
+        figure = experiments.tiny_directory_performance(1 / 64, MICRO, apps=APPS)
+        check_shape(figure, APPS, 3)
+        # Spilling never hurts on average.
+        assert figure.average("+DynSpill") <= figure.average("DSTRA") + 0.02
+
+    def test_residual_lengthened_spill_lowest(self):
+        figure = experiments.tiny_residual_lengthened(1 / 256, MICRO, apps=APPS)
+        check_shape(figure, APPS, 3)
+        assert figure.average("+DynSpill") <= figure.average("DSTRA+gNRU") + 0.2
+
+    def test_structure_metrics(self):
+        for metric in ("hits", "allocations", "hits_per_alloc"):
+            figure = experiments.tiny_structure_metric(metric, MICRO, apps=APPS)
+            check_shape(figure, APPS, 4)
+            for app in APPS:
+                assert all(value >= 0 for value in figure.values[app])
+
+    def test_fig19_spill_benefit_nonnegative(self):
+        figure = experiments.fig19_spill_benefit(MICRO, apps=APPS)
+        check_shape(figure, APPS, 4)
+        assert all(value >= 0 for app in APPS for value in figure.values[app])
+
+    def test_fig20_miss_rate_within_delta(self):
+        figure = experiments.fig20_miss_rate_increase(MICRO, apps=APPS)
+        check_shape(figure, APPS, 4)
+        for app in APPS:
+            for value in figure.values[app]:
+                assert value < 25.0  # delta_A = 1/4 is the loosest bound
+
+
+class TestRemainingFigures:
+    def test_fig21_energy_rows(self):
+        figure = experiments.fig21_energy(MICRO, apps=APPS)
+        assert figure.rows[-1] == "Tiny 1/256x"
+        assert figure.values["Tiny 1/256x"] == [1.0, 1.0, 1.0, 1.0]
+        # The headline: the 2x baseline burns more total energy.
+        assert figure.values["2x"][3] > 1.0
+
+    def test_fig22_mgd_degrades_with_size(self):
+        figure = experiments.fig22_mgd_stash(MICRO, apps=APPS)
+        check_shape(figure, APPS, 5)
+        assert figure.average("MgD 1/64x") >= figure.average("MgD 1/8x")
+
+    def test_halved_hierarchy(self):
+        figure = experiments.halved_hierarchy(MICRO, apps=APPS)
+        check_shape(figure, APPS, 2)
+
+    def test_ablation_gnru(self):
+        figure = experiments.ablation_gnru_generation(MICRO, apps=APPS)
+        check_shape(figure, APPS, 3)
+
+    def test_ablation_spill_delta(self):
+        figure = experiments.ablation_spill_delta(MICRO, apps=APPS)
+        check_shape(figure, APPS, 4)
+
+    def test_ablation_stra_width(self):
+        figure = experiments.ablation_stra_width(MICRO, apps=APPS)
+        check_shape(figure, APPS, 3)
+
+    def test_figure_column_accessors(self):
+        figure = experiments.fig01_sparse_sizes(MICRO, apps=APPS)
+        column = figure.column("1/4x")
+        assert len(column) == len(APPS)
+        assert figure.average("1/4x") > 0

@@ -1,0 +1,110 @@
+"""Failure-injection tests: corrupted internal state must be detected.
+
+The invariant checkers exist to catch simulator bugs; these tests verify
+they actually fire when the state is deliberately broken, and that the
+protocol error paths raise rather than silently mis-track.
+"""
+
+import pytest
+
+from conftest import Driver, make_system
+from repro.coherence.info import CohInfo
+from repro.errors import ProtocolError, TraceError
+from repro.sim.config import InLLCSpec, SparseSpec, TinySpec
+from repro.types import Access, AccessKind, PrivateState
+
+
+class TestInvariantCheckersFire:
+    def test_stale_directory_entry_detected(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.read(0, 0x40)
+        # Corrupt: drop the private copy without telling the directory.
+        d.system.cores[0].invalidate(0x40)
+        with pytest.raises(ProtocolError):
+            d.system.check_invariants()
+
+    def test_untracked_private_block_detected(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.read(0, 0x40)
+        # Corrupt: remove the directory entry behind the protocol's back.
+        d.system.home.directory.remove(0x40)
+        with pytest.raises(ProtocolError):
+            d.system.check_invariants()
+
+    def test_double_writer_detected(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.write(0, 0x40)
+        # Corrupt: force a second exclusive copy.
+        d.system.cores[1].fill(0x40, AccessKind.WRITE, PrivateState.MODIFIED)
+        with pytest.raises(ProtocolError):
+            d.system.check_invariants()
+
+    def test_inllc_stale_tracking_detected(self):
+        d = Driver(make_system(InLLCSpec()))
+        d.read(0, 0x40)
+        d.system.cores[0].invalidate(0x40)
+        with pytest.raises(ProtocolError):
+            d.system.check_invariants()
+
+    def test_tiny_stale_entry_detected(self):
+        d = Driver(make_system(TinySpec(ratio=1 / 16, policy="dstra")))
+        d.ifetch(0, 0x40)  # allocates a tiny entry
+        d.system.cores[0].invalidate(0x40)
+        with pytest.raises(ProtocolError):
+            d.system.check_invariants()
+
+
+class TestProtocolErrorPaths:
+    def test_access_from_unknown_core_rejected(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        with pytest.raises(TraceError):
+            d.system.access(Access(99, 0x40, AccessKind.READ), 0)
+
+    def test_forward_to_vanished_owner_detected(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.write(0, 0x40)
+        d.system.cores[0].invalidate(0x40)  # owner silently loses copy
+        with pytest.raises(ProtocolError):
+            d.write(1, 0x40)
+
+    def test_inllc_upgrade_for_untracked_block_detected(self):
+        d = Driver(make_system(InLLCSpec()))
+        with pytest.raises(ProtocolError):
+            d.system.home.handle_access(
+                0, 0x40, AccessKind.WRITE, 0, upgrade=True
+            )
+
+    def test_cohinfo_owner_plus_sharers_rejected(self):
+        with pytest.raises(ProtocolError):
+            CohInfo(owner=0, sharers=0b10)
+
+
+class TestRecoveryAfterHeavyChurn:
+    """Long adversarial patterns must leave the system consistent."""
+
+    def test_write_storm_single_block(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 16)))
+        for i in range(400):
+            d.write(i % 4, 0x40)
+        d.system.check_invariants()
+        assert d.state(3, 0x40) is PrivateState.MODIFIED
+
+    def test_reader_writer_pingpong(self):
+        d = Driver(make_system(InLLCSpec()))
+        for i in range(300):
+            d.read(0, 0x40)
+            d.read(1, 0x40)
+            d.write(2, 0x40)
+        d.system.check_invariants()
+
+    def test_tiny_directory_thrash(self):
+        d = Driver(make_system(TinySpec(ratio=1 / 64, policy="gnru", spill=True,
+                                        spill_window=32)))
+        # Far more hot shared blocks than tiny entries, with writes mixed
+        # in so entries keep migrating between structures.
+        for round_ in range(150):
+            block = 0x40 * (round_ % 40)
+            d.ifetch(round_ % 4, block)
+            if round_ % 7 == 0:
+                d.write((round_ + 1) % 4, block)
+        d.system.check_invariants()

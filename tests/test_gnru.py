@@ -1,0 +1,90 @@
+"""Unit tests for the gNRU generation-length estimator (paper §IV-A2)."""
+
+from repro.core.gnru import A_MAX, B_MAX, T_MAX, TICK_CYCLES, GenerationEstimator
+
+
+class TestTickClock:
+    def test_no_ticks_before_first_boundary(self):
+        est = GenerationEstimator(default_generation_ticks=4)
+        assert est.advance(TICK_CYCLES - 1) == 0
+        assert est.t == 0
+
+    def test_t_advances_per_tick(self):
+        est = GenerationEstimator()
+        est.advance(3 * TICK_CYCLES)
+        assert est.t == 3
+
+    def test_t_wraps_at_ten_bits(self):
+        est = GenerationEstimator(default_generation_ticks=1 << 20)
+        est.advance((T_MAX + 5) * TICK_CYCLES)
+        assert est.t == 5
+
+    def test_advance_is_monotonic_safe(self):
+        est = GenerationEstimator()
+        est.advance(10 * TICK_CYCLES)
+        assert est.advance(5 * TICK_CYCLES) == 0  # stale 'now' is ignored
+
+
+class TestGenerations:
+    def test_boundary_after_default_length(self):
+        est = GenerationEstimator(default_generation_ticks=4)
+        assert est.advance(3 * TICK_CYCLES) == 0
+        assert est.advance(4 * TICK_CYCLES) == 1
+
+    def test_multiple_boundaries_in_one_jump(self):
+        est = GenerationEstimator(default_generation_ticks=2)
+        boundaries = est.advance(10 * TICK_CYCLES)
+        assert boundaries == 5
+
+    def test_generation_counter_reloads(self):
+        est = GenerationEstimator(default_generation_ticks=3)
+        est.advance(3 * TICK_CYCLES)
+        assert est.advance(5 * TICK_CYCLES) == 0
+        assert est.advance(6 * TICK_CYCLES) == 1
+
+    def test_generations_counted(self):
+        est = GenerationEstimator(default_generation_ticks=1)
+        est.advance(7 * TICK_CYCLES)
+        assert est.generations == 7
+
+
+class TestReuseEstimate:
+    def test_default_before_samples(self):
+        est = GenerationEstimator(default_generation_ticks=9)
+        assert est.generation_length() == 9
+
+    def test_observe_access_accumulates(self):
+        est = GenerationEstimator()
+        est.advance(10 * TICK_CYCLES)
+        stamp = est.observe_access(4)  # gap of 6 ticks
+        assert stamp == 10
+        assert est.generation_length() == 6
+
+    def test_average_of_gaps(self):
+        est = GenerationEstimator()
+        est.advance(10 * TICK_CYCLES)
+        est.observe_access(6)  # gap 4
+        est.observe_access(2)  # gap 8
+        assert est.generation_length() == 6
+
+    def test_wrapped_interval_skipped(self):
+        """The paper only accumulates when Tlast < T."""
+        est = GenerationEstimator(default_generation_ticks=5)
+        est.advance(3 * TICK_CYCLES)
+        est.observe_access(900)  # Tlast > T: wrapped, skipped
+        assert est.samples == 0
+
+    def test_saturation_halves_both(self):
+        est = GenerationEstimator()
+        est.advance(2 * TICK_CYCLES)
+        for _ in range(B_MAX + 4):
+            est.observe_access(1)
+        assert est.samples < B_MAX
+        assert est.acc < A_MAX
+
+    def test_generation_length_at_least_one(self):
+        est = GenerationEstimator()
+        est.advance(TICK_CYCLES)
+        for _ in range(10):
+            est.observe_access(0)  # tiny gaps
+        assert est.generation_length() >= 1

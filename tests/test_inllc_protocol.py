@@ -1,0 +1,170 @@
+"""Protocol tests for in-LLC coherence tracking (paper §III)."""
+
+import pytest
+
+from conftest import Driver, make_system
+from repro.sim.config import InLLCSpec
+from repro.types import LLCState, PrivateState
+
+
+@pytest.fixture
+def d() -> Driver:
+    return Driver(make_system(InLLCSpec()))
+
+
+def llc_line(d: Driver, addr: int):
+    bank = d.system.home.banks[d.system.home.bank_of(addr)]
+    line, _ = bank.lookup(addr, touch=False)
+    return line
+
+
+class TestCorruptedStates:
+    def test_read_corrupts_block_exclusive(self, d):
+        d.read(0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.state is LLCState.CORRUPTED
+        assert line.coh.owner == 0
+
+    def test_ifetch_corrupts_block_shared(self, d):
+        d.ifetch(0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.state is LLCState.CORRUPTED
+        assert line.coh.sharer_list() == [0]
+
+    def test_second_reader_makes_corrupted_shared(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.coh.sharer_list() == [0, 1]
+
+    def test_write_keeps_corrupted_exclusive(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        d.write(2, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.coh.owner == 2
+        assert d.state(0, 0x40) is PrivateState.INVALID
+
+
+class TestLengthenedAccesses:
+    def test_shared_read_is_lengthened(self, d):
+        d.ifetch(0, 0x40)
+        before = d.system.stats.lengthened
+        d.ifetch(1, 0x40)  # read to corrupted-shared: 3-hop
+        assert d.system.stats.lengthened == before + 1
+
+    def test_exclusive_read_not_lengthened(self, d):
+        d.read(0, 0x40)
+        before = d.system.stats.lengthened
+        d.read(1, 0x40)  # forward to owner: baseline also 3-hop
+        assert d.system.stats.lengthened == before
+
+    def test_write_not_lengthened(self, d):
+        d.ifetch(0, 0x40)
+        d.ifetch(1, 0x40)
+        before = d.system.stats.lengthened
+        d.write(2, 0x40)
+        assert d.system.stats.lengthened == before
+
+    def test_code_data_split(self, d):
+        d.ifetch(0, 0x40)
+        d.ifetch(1, 0x40)  # lengthened code access
+        d.read(2, 0x40)  # lengthened data access
+        assert d.system.stats.lengthened_code == 1
+        assert d.system.stats.lengthened_data == 1
+
+    def test_tag_extended_variant_not_lengthened(self):
+        d = Driver(make_system(InLLCSpec(tag_extended=True)))
+        d.ifetch(0, 0x40)
+        d.ifetch(1, 0x40)
+        d.read(2, 0x40)
+        assert d.system.stats.lengthened == 0
+
+
+class TestReconstruction:
+    def _evict_from_core(self, d, core, addr):
+        """Evict ``addr`` from the core's L2 via set-conflicting fills."""
+        step = d.system.config.l2_sets
+        for i in range(1, 9):
+            d.read(core, addr + i * step)
+
+    def test_exclusive_eviction_restores_clean(self, d):
+        d.read(0, 0x40)
+        self._evict_from_core(d, 0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.state is LLCState.CLEAN
+        assert line.coh is None
+
+    def test_modified_eviction_restores_dirty(self, d):
+        d.write(0, 0x40)
+        self._evict_from_core(d, 0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.state is LLCState.DIRTY
+
+    def test_last_sharer_eviction_restores(self, d):
+        d.ifetch(0, 0x40)
+        self._evict_from_core(d, 0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.state is LLCState.CLEAN
+
+    def test_partial_sharer_eviction_keeps_corrupted(self, d):
+        d.ifetch(0, 0x40)
+        d.ifetch(1, 0x40)
+        self._evict_from_core(d, 0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.state is LLCState.CORRUPTED
+        assert line.coh.sharer_list() == [1]
+
+    def test_dirty_data_tracked_through_downgrade(self, d):
+        d.write(0, 0x40)
+        d.read(1, 0x40)  # M -> S, dirty data deposited in corrupted line
+        line = llc_line(d, 0x40)
+        assert line.underlying_dirty
+        self._evict_from_core(d, 0, 0x40)
+        self._evict_from_core(d, 1, 0x40)
+        assert llc_line(d, 0x40).state is LLCState.DIRTY
+
+
+class TestStraTracking:
+    def test_shared_reads_increment_strac(self, d):
+        d.ifetch(0, 0x40)
+        d.ifetch(1, 0x40)
+        d.ifetch(2, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.stra.strac == 2
+
+    def test_other_accesses_increment_oac(self, d):
+        d.read(0, 0x40)
+        line = llc_line(d, 0x40)
+        assert line.stra.oac == 1
+        d.read(1, 0x40)  # found exclusive: other
+        assert line.stra.oac == 2
+
+    def test_counters_reset_on_unowned(self, d):
+        d.ifetch(0, 0x40)
+        d.ifetch(1, 0x40)
+        step = d.system.config.l2_sets
+        for core in (0, 1):
+            for i in range(1, 9):
+                d.read(core, 0x40 + i * step)
+        line = llc_line(d, 0x40)
+        assert line.stra is None
+
+
+class TestPerformanceShape:
+    def test_inllc_slower_than_tag_extended(self):
+        """The Fig. 4 gap on a micro scale: borrowing data bits costs."""
+        borrow = Driver(make_system(InLLCSpec(tag_extended=False)))
+        tag = Driver(make_system(InLLCSpec(tag_extended=True)))
+        for d in (borrow, tag):
+            # Heavy shared-read traffic: every core re-reads shared code.
+            for round_ in range(60):
+                for core in range(4):
+                    d.ifetch(core, 0x40 * (round_ % 7))
+        assert borrow.now > tag.now
+
+    def test_invariants_after_fuzz(self, d):
+        d.fuzz(3000)
+
+    def test_tag_extended_invariants_after_fuzz(self):
+        Driver(make_system(InLLCSpec(tag_extended=True))).fuzz(3000)

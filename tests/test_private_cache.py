@@ -1,0 +1,121 @@
+"""Unit tests for the per-core private hierarchy."""
+
+import pytest
+
+from repro.cache.private_cache import PrivateCore
+from repro.errors import ProtocolError
+from repro.types import AccessKind, PrivateState
+
+
+def make_core(l1_sets=2, l1_assoc=2, l2_sets=4, l2_assoc=2) -> PrivateCore:
+    return PrivateCore(0, l1_sets, l1_assoc, l2_sets, l2_assoc)
+
+
+class TestProbe:
+    def test_miss_when_empty(self):
+        core = make_core()
+        assert core.probe(0x10, AccessKind.READ).level == "miss"
+
+    def test_l1_hit_after_fill(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.EXCLUSIVE)
+        assert core.probe(0x10, AccessKind.READ).level == "l1"
+
+    def test_ifetch_and_data_use_separate_l1s(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.SHARED)
+        # The block is in dL1 + L2; an ifetch probe hits only at L2.
+        assert core.probe(0x10, AccessKind.IFETCH).level == "l2"
+
+    def test_l2_hit_promotes_to_l1(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.IFETCH, PrivateState.SHARED)
+        assert core.probe(0x10, AccessKind.READ).level == "l2"
+        assert core.probe(0x10, AccessKind.READ).level == "l1"
+
+    def test_write_to_shared_needs_upgrade(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.SHARED)
+        probe = core.probe(0x10, AccessKind.WRITE)
+        assert probe.needs_upgrade and not probe.is_hit
+
+    def test_write_to_exclusive_silently_modifies(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.EXCLUSIVE)
+        probe = core.probe(0x10, AccessKind.WRITE)
+        assert probe.is_hit
+        assert core.state_of(0x10) is PrivateState.MODIFIED
+
+    def test_write_to_modified_hits(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.WRITE, PrivateState.MODIFIED)
+        assert core.probe(0x10, AccessKind.WRITE).is_hit
+
+
+class TestFillAndEvict:
+    def test_fill_invalid_state_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_core().fill(0x10, AccessKind.READ, PrivateState.INVALID)
+
+    def test_l2_eviction_produces_notice(self):
+        core = make_core(l2_sets=1, l2_assoc=2)
+        core.fill(0, AccessKind.READ, PrivateState.EXCLUSIVE)
+        core.fill(1, AccessKind.READ, PrivateState.SHARED)
+        notices = core.fill(2, AccessKind.READ, PrivateState.EXCLUSIVE)
+        assert len(notices) == 1
+        assert notices[0].addr == 0
+        assert notices[0].state is PrivateState.EXCLUSIVE
+
+    def test_eviction_preserves_inclusion(self):
+        core = make_core(l2_sets=1, l2_assoc=2)
+        core.fill(0, AccessKind.READ, PrivateState.EXCLUSIVE)
+        core.fill(1, AccessKind.READ, PrivateState.EXCLUSIVE)
+        core.fill(2, AccessKind.READ, PrivateState.EXCLUSIVE)
+        # Block 0 left the L2, so it must not linger in any L1.
+        assert core.probe(0, AccessKind.READ).level == "miss"
+
+    def test_no_notice_when_way_free(self):
+        core = make_core()
+        assert core.fill(0x10, AccessKind.READ, PrivateState.SHARED) == []
+
+
+class TestStateChanges:
+    def test_invalidate_returns_prior_state(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.WRITE, PrivateState.MODIFIED)
+        assert core.invalidate(0x10) is PrivateState.MODIFIED
+        assert not core.holds(0x10)
+
+    def test_invalidate_absent_returns_invalid(self):
+        assert make_core().invalidate(0x99) is PrivateState.INVALID
+
+    def test_downgrade_m_to_s(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.WRITE, PrivateState.MODIFIED)
+        assert core.downgrade(0x10) is PrivateState.MODIFIED
+        assert core.state_of(0x10) is PrivateState.SHARED
+
+    def test_downgrade_requires_exclusive(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.SHARED)
+        with pytest.raises(ProtocolError):
+            core.downgrade(0x10)
+
+    def test_complete_upgrade(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.SHARED)
+        core.complete_upgrade(0x10)
+        assert core.state_of(0x10) is PrivateState.MODIFIED
+
+    def test_complete_upgrade_requires_shared(self):
+        core = make_core()
+        core.fill(0x10, AccessKind.READ, PrivateState.EXCLUSIVE)
+        with pytest.raises(ProtocolError):
+            core.complete_upgrade(0x10)
+
+    def test_resident_blocks_enumeration(self):
+        core = make_core()
+        core.fill(1, AccessKind.READ, PrivateState.SHARED)
+        core.fill(2, AccessKind.WRITE, PrivateState.MODIFIED)
+        resident = dict(core.resident_blocks())
+        assert resident == {1: PrivateState.SHARED, 2: PrivateState.MODIFIED}

@@ -1,0 +1,179 @@
+"""Protocol tests for the baseline sparse-directory home (MESI)."""
+
+import pytest
+
+from conftest import Driver, make_system
+from repro.sim.config import SparseSpec
+from repro.types import PrivateState
+
+
+@pytest.fixture
+def d() -> Driver:
+    return Driver(make_system(SparseSpec(ratio=2.0)))
+
+
+class TestReadPaths:
+    def test_first_read_grants_exclusive(self, d):
+        d.read(0, 0x40)
+        assert d.state(0, 0x40) is PrivateState.EXCLUSIVE
+
+    def test_ifetch_grants_shared(self, d):
+        """Instruction reads are answered in S even for one requester."""
+        d.ifetch(0, 0x40)
+        assert d.state(0, 0x40) is PrivateState.SHARED
+
+    def test_second_reader_downgrades_owner(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        assert d.state(0, 0x40) is PrivateState.SHARED
+        assert d.state(1, 0x40) is PrivateState.SHARED
+
+    def test_read_after_write_downgrades_modified(self, d):
+        d.write(0, 0x40)
+        assert d.state(0, 0x40) is PrivateState.MODIFIED
+        d.read(1, 0x40)
+        assert d.state(0, 0x40) is PrivateState.SHARED
+        assert d.state(1, 0x40) is PrivateState.SHARED
+
+    def test_read_to_owned_block_is_three_hop(self, d):
+        d.write(0, 0x40)
+        d.read(1, 0x40)
+        assert d.system.stats.three_hop >= 1
+
+    def test_read_to_llc_resident_is_two_hop(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)  # 3-hop (owner forward)
+        before = d.system.stats.two_hop
+        d.read(2, 0x40)  # LLC has the data now: 2-hop
+        assert d.system.stats.two_hop == before + 1
+
+    def test_baseline_never_lengthens(self, d):
+        d.fuzz(1500)
+        assert d.system.stats.lengthened == 0
+
+
+class TestWritePaths:
+    def test_write_grants_modified(self, d):
+        d.write(0, 0x40)
+        assert d.state(0, 0x40) is PrivateState.MODIFIED
+
+    def test_write_invalidates_sharers(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        d.write(2, 0x40)
+        assert d.state(0, 0x40) is PrivateState.INVALID
+        assert d.state(1, 0x40) is PrivateState.INVALID
+        assert d.state(2, 0x40) is PrivateState.MODIFIED
+
+    def test_write_steals_from_owner(self, d):
+        d.write(0, 0x40)
+        d.write(1, 0x40)
+        assert d.state(0, 0x40) is PrivateState.INVALID
+        assert d.state(1, 0x40) is PrivateState.MODIFIED
+
+    def test_upgrade_from_shared(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        before = d.system.stats.upgrades
+        d.write(0, 0x40)
+        assert d.system.stats.upgrades == before + 1
+        assert d.state(0, 0x40) is PrivateState.MODIFIED
+        assert d.state(1, 0x40) is PrivateState.INVALID
+
+    def test_write_hit_on_exclusive_is_silent(self, d):
+        d.read(0, 0x40)
+        before = d.system.stats.llc_transactions
+        d.write(0, 0x40)
+        assert d.system.stats.llc_transactions == before
+        assert d.state(0, 0x40) is PrivateState.MODIFIED
+
+    def test_invalidation_count(self, d):
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        d.read(2, 0x40)
+        before = d.system.stats.invalidations
+        d.write(3, 0x40)
+        assert d.system.stats.invalidations == before + 3
+
+
+class TestDirectoryPressure:
+    def test_small_directory_back_invalidates(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 64)))
+        d.fuzz(2500, num_blocks=400)
+        assert d.system.stats.back_invalidations > 0
+
+    def test_big_directory_rarely_back_invalidates(self):
+        big = Driver(make_system(SparseSpec(ratio=2.0)))
+        small = Driver(make_system(SparseSpec(ratio=1 / 64)))
+        big.fuzz(2500, num_blocks=400)
+        small.fuzz(2500, num_blocks=400)
+        assert big.system.stats.back_invalidations < small.system.stats.back_invalidations
+
+    def test_smaller_directory_is_slower(self):
+        """The Fig. 1 effect on a micro scale: an undersized directory
+        back-invalidates live private blocks, costing refetches."""
+        def cycles(ratio):
+            d = Driver(make_system(SparseSpec(ratio=ratio)))
+            # Each core loops over a private footprint that fits its L2
+            # but (in aggregate) far exceeds a 1/64x directory.
+            for round_ in range(40):
+                for core in range(4):
+                    for block in range(30):
+                        d.read(core, 0x1000 * (core + 1) + block)
+            return d.now
+        assert cycles(1 / 64) > 1.2 * cycles(2.0)
+
+
+class TestEvictionNotices:
+    def test_eviction_frees_directory_entry(self, d):
+        directory = d.system.home.directory
+        # Touch more blocks than one private set holds to force evictions.
+        for addr in range(0, 2048, 64):
+            d.read(0, addr)
+        occupancy = directory.occupancy()
+        resident = sum(1 for _ in d.system.cores[0].resident_blocks())
+        assert occupancy == resident
+
+    def test_dirty_eviction_updates_llc(self, d):
+        d.write(0, 0x40)
+        # Force eviction of 0x40 by filling its L2 set.
+        conflicting = [0x40 + i * d.system.config.l2_sets for i in range(1, 9)]
+        for addr in conflicting:
+            d.read(0, addr)
+        assert d.state(0, 0x40) is PrivateState.INVALID
+        bank = d.system.home.banks[d.system.home.bank_of(0x40)]
+        line, _ = bank.lookup(0x40, touch=False)
+        assert line is not None
+
+    def test_invariants_after_fuzz(self, d):
+        d.fuzz(3000)
+
+
+class TestSharedOnlyVariant:
+    def test_private_blocks_never_occupy_directory(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 16, shared_only=True)))
+        for addr in range(0, 640, 64):
+            d.read(0, addr)  # all exclusive: unbounded structure
+        assert d.system.home.directory.occupancy() == 0
+
+    def test_shared_block_enters_directory(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 16, shared_only=True)))
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        assert d.system.home.directory.occupancy() == 1
+
+    def test_write_moves_block_back_to_unbounded(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 16, shared_only=True)))
+        d.read(0, 0x40)
+        d.read(1, 0x40)
+        d.write(2, 0x40)
+        assert d.system.home.directory.occupancy() == 0
+        assert d.system.home._unbounded[0x40].owner == 2
+
+    def test_invariants_after_fuzz(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 32, shared_only=True)))
+        d.fuzz(3000)
+
+    def test_zcache_variant_runs(self):
+        d = Driver(make_system(SparseSpec(ratio=1 / 16, shared_only=True, zcache=True)))
+        d.fuzz(2000)

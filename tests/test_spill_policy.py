@@ -1,0 +1,105 @@
+"""Unit tests for the dynamic spill policy (paper §IV-B2)."""
+
+from repro.core.spill import DynamicSpillPolicy, SpillConfig
+
+
+def fill_window(policy, misses_sample=0, misses_other=0, window=None, shared=0):
+    """Feed one full observation window with the given miss pattern."""
+    window = window or policy.config.window_accesses
+    half = window // 2
+    for i in range(half):
+        policy.record_access(
+            in_sample_set=True, is_miss=i < misses_sample, is_shared_read=i < shared
+        )
+    for i in range(window - half):
+        policy.record_access(
+            in_sample_set=False, is_miss=i < misses_other, is_shared_read=False
+        )
+
+
+class TestThresholdAdaptation:
+    def test_initial_threshold(self):
+        policy = DynamicSpillPolicy(SpillConfig(initial_threshold=4))
+        assert policy.threshold_index == 4
+
+    def test_allows_at_or_above_threshold(self):
+        policy = DynamicSpillPolicy(SpillConfig(initial_threshold=4))
+        assert policy.allows(4) and policy.allows(7)
+        assert not policy.allows(3)
+
+    def test_threshold_decreases_when_guarantee_holds(self):
+        policy = DynamicSpillPolicy(SpillConfig(window_accesses=64, initial_threshold=4))
+        fill_window(policy)  # equal miss rates: guarantee holds
+        assert policy.threshold_index == 3
+        assert policy.threshold_decreases == 1
+
+    def test_threshold_increases_when_guarantee_violated(self):
+        policy = DynamicSpillPolicy(SpillConfig(window_accesses=64, initial_threshold=4))
+        fill_window(policy, misses_sample=0, misses_other=32)
+        assert policy.threshold_index == 5
+        assert policy.threshold_increases == 1
+
+    def test_threshold_saturates_at_zero(self):
+        policy = DynamicSpillPolicy(SpillConfig(window_accesses=64, initial_threshold=1))
+        fill_window(policy)
+        fill_window(policy)
+        assert policy.threshold_index == 0
+
+    def test_threshold_saturates_at_seven(self):
+        policy = DynamicSpillPolicy(SpillConfig(window_accesses=64, initial_threshold=7))
+        fill_window(policy, misses_other=32)
+        assert policy.threshold_index == 7
+
+    def test_windows_counted(self):
+        policy = DynamicSpillPolicy(SpillConfig(window_accesses=32))
+        fill_window(policy)
+        fill_window(policy)
+        assert policy.windows == 2
+
+
+class TestDeltaClasses:
+    def _policy(self):
+        return DynamicSpillPolicy(SpillConfig(window_accesses=64, initial_threshold=4))
+
+    def test_class_a_high_mr_high_stra(self):
+        policy = self._policy()
+        fill_window(policy, misses_sample=16, misses_other=16, shared=30)
+        assert policy.delta == policy.config.delta_a
+
+    def test_class_b_high_mr_low_stra(self):
+        policy = self._policy()
+        fill_window(policy, misses_sample=16, misses_other=16, shared=0)
+        assert policy.delta == policy.config.delta_b
+
+    def test_class_c_low_mr_high_stra(self):
+        policy = self._policy()
+        fill_window(policy, shared=30)
+        assert policy.delta == policy.config.delta_c
+
+    def test_class_d_low_mr_low_stra(self):
+        policy = self._policy()
+        fill_window(policy)
+        assert policy.delta == policy.config.delta_d
+
+    def test_fixed_delta_ablation(self):
+        policy = DynamicSpillPolicy(
+            SpillConfig(window_accesses=64, adaptive_delta=False)
+        )
+        fill_window(policy, misses_sample=16, misses_other=16, shared=30)
+        assert policy.delta == policy.config.delta_b
+
+    def test_paper_delta_values(self):
+        config = SpillConfig()
+        assert config.delta_a == 1 / 4
+        assert config.delta_b == 1 / 32
+        assert config.delta_c == 1 / 16
+        assert config.delta_d == 1 / 32
+
+
+class TestWindowReset:
+    def test_counters_reset_between_windows(self):
+        policy = DynamicSpillPolicy(SpillConfig(window_accesses=32))
+        fill_window(policy, misses_other=16)
+        assert policy._accesses == 0
+        assert policy._misses == 0
+        assert policy._sample_accesses == 0

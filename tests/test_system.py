@@ -1,0 +1,105 @@
+"""Tests for the System facade."""
+
+import pytest
+
+from conftest import Driver, make_system
+from repro.errors import ConfigError
+from repro.sim.config import (
+    InLLCSpec,
+    MgdSpec,
+    SparseSpec,
+    StashSpec,
+    SystemConfig,
+    TinySpec,
+)
+from repro.sim.system import System
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            SparseSpec(ratio=2.0),
+            SparseSpec(ratio=1 / 16, shared_only=True),
+            SparseSpec(ratio=1 / 16, zcache=True),
+            InLLCSpec(),
+            InLLCSpec(tag_extended=True),
+            TinySpec(ratio=1 / 16, policy="dstra"),
+            TinySpec(ratio=1 / 16, policy="gnru", spill=True),
+            MgdSpec(ratio=1 / 8),
+            StashSpec(ratio=1 / 16),
+        ],
+        ids=lambda s: f"{s.name}-{getattr(s, 'ratio', '')}",
+    )
+    def test_every_scheme_builds_and_runs(self, spec):
+        d = Driver(make_system(spec))
+        d.fuzz(600)
+        assert d.system.stats.accesses == 600
+
+    def test_unknown_scheme_rejected(self):
+        config = SystemConfig(num_cores=4, l1_kb=1, l2_kb=4)
+        config.scheme = object()
+        with pytest.raises(ConfigError):
+            System(config)
+
+    def test_one_private_core_per_core(self):
+        system = make_system(SparseSpec())
+        assert len(system.cores) == system.config.num_cores
+
+    def test_one_llc_bank_per_tile(self):
+        system = make_system(SparseSpec())
+        assert len(system.home.banks) == system.config.num_banks
+
+
+class TestFinalize:
+    def test_finalize_harvests_structure_counters(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.fuzz(500)
+        stats = d.system.finalize()
+        assert stats.structures["llc_tag_lookups"] > 0
+        assert "dir_lookups" in stats.structures
+
+    def test_finalize_idempotent(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.fuzz(500)
+        first = d.system.finalize()
+        allocated = first.blocks_allocated
+        second = d.system.finalize()
+        assert second.blocks_allocated == allocated
+
+    def test_tiny_scheme_exports_tiny_counters(self):
+        d = Driver(make_system(TinySpec(ratio=1 / 16, policy="gnru")))
+        d.fuzz(500)
+        stats = d.system.finalize()
+        assert "tiny_hits" in stats.structures
+        assert "tiny_allocations" in stats.structures
+
+    def test_residency_flush_counts_resident_blocks(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        for addr in range(10):
+            d.read(0, addr)
+        stats = d.system.finalize()
+        assert stats.blocks_allocated >= 10
+
+
+class TestLatencyReporting:
+    def test_l1_hit_is_cheapest(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        miss_latency = d.read(0, 0x40)
+        hit_latency = d.read(0, 0x40)
+        assert hit_latency == d.system.config.l1_latency
+        assert miss_latency > hit_latency
+
+    def test_l2_hit_latency(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        d.read(0, 0x40)
+        d.ifetch(0, 0x40)  # in dL1+L2; ifetch finds it at L2
+        latency = d.ifetch(0, 0x40)  # now in iL1
+        assert latency == d.system.config.l1_latency
+
+    def test_dram_miss_is_most_expensive(self):
+        d = Driver(make_system(SparseSpec(ratio=2.0)))
+        miss = d.read(0, 0x40)
+        d.read(1, 0x80)
+        hit_in_llc = d.read(0, 0x80)  # LLC hit (filled by core 1's miss)
+        assert miss > hit_in_llc

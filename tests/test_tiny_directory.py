@@ -1,0 +1,169 @@
+"""Unit tests for the tiny directory and its allocation policies (§IV)."""
+
+import pytest
+
+from repro.coherence.info import CohInfo
+from repro.core.gnru import TICK_CYCLES
+from repro.core.stra import StraCounters
+from repro.core.tiny_directory import (
+    AllocationPolicy,
+    TinyDirectory,
+    FULLY_ASSOC_THRESHOLD,
+)
+from repro.errors import ConfigError
+
+
+def stra_of_category(category: int) -> StraCounters:
+    """Counters whose ratio falls in the requested category."""
+    if category == 0:
+        return StraCounters()
+    if category == 7:
+        return StraCounters(strac=63, oac=0)
+    # Ci covers (1-1/2^(i-1), 1-1/2^i]; use the upper bound 1-1/2^i.
+    strac = (1 << category) - 1
+    return StraCounters(strac=strac, oac=1)
+
+
+def make_tiny(entries=8, banks=1, policy=AllocationPolicy.DSTRA, assoc=4):
+    return TinyDirectory(entries, banks, policy, assoc=assoc)
+
+
+class TestConstruction:
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            TinyDirectory(2, 4, AllocationPolicy.DSTRA)
+
+    def test_small_slices_fully_associative(self):
+        tiny = TinyDirectory(FULLY_ASSOC_THRESHOLD, 1, AllocationPolicy.DSTRA)
+        assert tiny._slices[0].num_sets == 1
+        assert tiny._slices[0].assoc == FULLY_ASSOC_THRESHOLD
+
+    def test_large_slices_set_associative(self):
+        tiny = TinyDirectory(64, 1, AllocationPolicy.DSTRA, assoc=8)
+        assert tiny._slices[0].num_sets == 8
+        assert tiny._slices[0].assoc == 8
+
+
+class TestDSTRAPolicy:
+    def test_allocates_into_free_way(self):
+        tiny = make_tiny()
+        entry, victim = tiny.try_allocate(1, 0, CohInfo(sharers=1), StraCounters(), 0)
+        assert entry is not None and victim is None
+
+    def test_declines_equal_category(self):
+        tiny = make_tiny(entries=1, assoc=1)
+        tiny.try_allocate(1, 3, CohInfo(sharers=1), stra_of_category(3), 0)
+        entry, victim = tiny.try_allocate(
+            2, 3, CohInfo(sharers=1), stra_of_category(3), 0
+        )
+        assert entry is None and victim is None
+        assert tiny.declined == 1
+
+    def test_higher_category_replaces_lower(self):
+        tiny = make_tiny(entries=1, assoc=1)
+        tiny.try_allocate(1, 2, CohInfo(sharers=1), stra_of_category(2), 0)
+        entry, victim = tiny.try_allocate(
+            2, 5, CohInfo(sharers=1), stra_of_category(5), 0
+        )
+        assert entry is not None
+        assert victim.addr == 1
+
+    def test_lowest_category_way_is_victim(self):
+        tiny = make_tiny(entries=3, assoc=3)
+        for addr, cat in ((1, 4), (2, 1), (3, 6)):
+            tiny.try_allocate(addr, cat, CohInfo(sharers=1), stra_of_category(cat), 0)
+        entry, victim = tiny.try_allocate(
+            9, 5, CohInfo(sharers=1), stra_of_category(5), 0
+        )
+        assert entry is not None
+        assert victim.addr == 2  # category 1 was lowest
+
+    def test_tie_breaks_to_lowest_way(self):
+        tiny = make_tiny(entries=2, assoc=2)
+        tiny.try_allocate(1, 2, CohInfo(sharers=1), stra_of_category(2), 0)
+        tiny.try_allocate(2, 2, CohInfo(sharers=1), stra_of_category(2), 0)
+        _, victim = tiny.try_allocate(9, 6, CohInfo(sharers=1), stra_of_category(6), 0)
+        assert victim.addr == 1
+
+
+class TestGNRUPolicy:
+    def _gnru(self, entries=2, assoc=2):
+        return TinyDirectory(
+            entries, 1, AllocationPolicy.DSTRA_GNRU, assoc=assoc,
+            default_generation_ticks=2,
+        )
+
+    def test_equal_category_with_ep_replaced(self):
+        tiny = self._gnru(entries=1, assoc=1)
+        tiny.try_allocate(1, 3, CohInfo(sharers=1), stra_of_category(3), 0)
+        # Two full generations with no access: R clears, then EP sets.
+        tiny.lookup(99, 10 * TICK_CYCLES)
+        entry, victim = tiny.try_allocate(
+            2, 3, CohInfo(sharers=1), stra_of_category(3), 10 * TICK_CYCLES
+        )
+        assert entry is not None and victim.addr == 1
+
+    def test_recently_used_entry_protected(self):
+        tiny = self._gnru(entries=1, assoc=1)
+        tiny.try_allocate(1, 3, CohInfo(sharers=1), stra_of_category(3), 0)
+        tiny.lookup(1, 10 * TICK_CYCLES)  # refresh R, clear EP
+        entry, _ = tiny.try_allocate(
+            2, 3, CohInfo(sharers=1), stra_of_category(3), 10 * TICK_CYCLES
+        )
+        assert entry is None
+
+    def test_ep_preferred_among_equal_categories(self):
+        tiny = self._gnru(entries=2, assoc=2)
+        tiny.try_allocate(1, 3, CohInfo(sharers=1), stra_of_category(3), 0)
+        tiny.try_allocate(2, 3, CohInfo(sharers=1), stra_of_category(3), 0)
+        # Age both generations, then touch only entry 1.
+        tiny.lookup(1, 10 * TICK_CYCLES)
+        _, victim = tiny.try_allocate(
+            9, 6, CohInfo(sharers=1), stra_of_category(6), 10 * TICK_CYCLES
+        )
+        assert victim.addr == 2
+
+    def test_lookup_touch_sets_r_clears_ep(self):
+        tiny = self._gnru(entries=1, assoc=1)
+        tiny.try_allocate(1, 3, CohInfo(sharers=1), stra_of_category(3), 0)
+        tiny.lookup(99, 10 * TICK_CYCLES)  # advance generations
+        entry = tiny.find_quiet(1)
+        assert entry.ep_bit
+        tiny.lookup(1, 10 * TICK_CYCLES)
+        assert entry.r_bit and not entry.ep_bit
+
+
+class TestStructure:
+    def test_lookup_counts_hits_and_misses(self):
+        tiny = make_tiny()
+        tiny.try_allocate(1, 1, CohInfo(sharers=1), stra_of_category(1), 0)
+        tiny.lookup(1, 0)
+        tiny.lookup(2, 0)
+        assert (tiny.hits, tiny.misses) == (1, 1)
+
+    def test_find_quiet_does_not_count(self):
+        tiny = make_tiny()
+        tiny.try_allocate(1, 1, CohInfo(sharers=1), stra_of_category(1), 0)
+        tiny.find_quiet(1)
+        assert tiny.hits == 0
+
+    def test_remove(self):
+        tiny = make_tiny()
+        tiny.try_allocate(1, 1, CohInfo(sharers=1), stra_of_category(1), 0)
+        assert tiny.remove(1) is not None
+        assert tiny.remove(1) is None
+        assert tiny.occupancy() == 0
+
+    def test_occupancy_and_iter(self):
+        tiny = make_tiny(entries=4, assoc=4)
+        for addr in range(3):
+            tiny.try_allocate(addr, 1, CohInfo(sharers=1), stra_of_category(1), 0)
+        assert tiny.occupancy() == 3
+        assert {entry.addr for entry in tiny.iter_entries()} == {0, 1, 2}
+
+    def test_banked_distribution(self):
+        tiny = TinyDirectory(8, 2, AllocationPolicy.DSTRA, assoc=4)
+        tiny.try_allocate(0, 1, CohInfo(sharers=1), stra_of_category(1), 0)
+        tiny.try_allocate(1, 1, CohInfo(sharers=1), stra_of_category(1), 0)
+        assert tiny.find_quiet(0) is not None
+        assert tiny.find_quiet(1) is not None

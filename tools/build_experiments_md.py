@@ -1,0 +1,282 @@
+"""Assemble EXPERIMENTS.md from a benchmark run log.
+
+Reads the text tables printed by ``pytest benchmarks/ --benchmark-only
+-s`` and emits EXPERIMENTS.md with per-figure paper-vs-measured
+commentary. Run from the repository root::
+
+    python tools/build_experiments_md.py bench_run1.log
+"""
+
+import re
+import sys
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+This file records, for every table and figure of the paper's evaluation,
+what the paper reports and what this reproduction measures at the default
+harness scale (32 cores, 8 KB L1 / 32 KB L2 / 4 MB LLC with paper-exact
+capacity ratios, 48K steady-state accesses after an init pass and 40%
+warmup — see DESIGN.md §1 and README "Scaling methodology").
+
+**How to read the comparison.** The paper's absolute numbers come from a
+cycle-accurate 128-core out-of-order simulator running real application
+traces; ours come from a scaled trace-driven timing model running
+calibrated synthetic workloads on blocking cores. Absolute magnitudes
+therefore differ — blocking cores overweight every extra memory
+transaction, so directory-pressure slowdowns (Figs. 1, 3, 22) come out
+larger than the paper's, and percentages measured against LLC-access
+denominators shift with the synthetic access mix. The reproduction
+targets are the *shapes*: orderings between schemes, monotone trends
+across sizes, which applications are outliers, where crossovers sit, and
+the headline claim that a 1/32x-1/256x tiny directory with
+DSTRA+gNRU+DynSpill lands within a few percent of the 2x sparse
+baseline. Per-figure verdicts below.
+
+Regenerate everything with `pytest benchmarks/ --benchmark-only -s`
+(cached in `.repro_cache/`) or one figure with `python -m repro fig13`.
+
+Table I (system configuration) is encoded as `SystemConfig.paper()` and
+validated by `tests/test_config.py`; Table II (applications) as
+`repro.workloads.profiles`, validated by `tests/test_workloads.py`.
+
+---
+"""
+
+#: Commentary per table caption prefix, in presentation order.
+COMMENTARY = [
+    ("Fig. 1:", """\
+**Paper:** 1/4x, 1/8x, 1/16x sparse directories cost +3% / +11% / +28%
+on average, with ocean_cp improving as the directory shrinks.
+**Measured:** +24% / +31% / +36% — same monotone ordering and the same
+outlier structure (314.mgrid *improves* with smaller directories, the
+ocean_cp effect: losing tracking entries converts performance-critical
+3-hop accesses into 2-hop refetches). Magnitudes are larger because the
+blocking-core model cannot hide the refetches that directory evictions
+cause, and the synthetic private working sets keep L2s fully live (real
+L2s hold a large dead fraction whose invalidation is free)."""),
+    ("Fig. 2:", """\
+**Paper:** on average 21% of allocated LLC blocks experience 2+ distinct
+sharers; SPECWeb/TPC have much larger shared footprints; bins shrink
+with sharer count.
+**Measured:** 11% average with the same structure — barnes highest
+(28%), commercial applications 13-15%, streaming scientific codes lowest
+(mgrid 1%), and monotonically shrinking bins."""),
+    ("Fig. 3: shared-only set-associative", """\
+**Paper:** even tracking *only* shared blocks, 1/16x..1/128x directories
+lose 1% / 4% / 13% / 28%.
+**Measured:** 2% / 4% / 6% / 8% — matches at 1/16x-1/32x; shallower at
+the small end because the synthetic shared working sets, sized to the
+scaled LLC, stress a 1/128x directory less than the commercial traces'
+footprints do. The conclusion the paper draws (you cannot reach 1/32x
+and below by evicting private blocks alone) is visible: barnes already
+loses 12-27%."""),
+    ("Fig. 3: shared-only skew-associative", """\
+**Paper:** the 4-way skew-associative variant trims the set-associative
+losses (0.5% / 3% / 12% at 1/16x..1/64x).
+**Measured:** consistently slightly better than the set-associative
+variant at every size, same ordering."""),
+    ("Fig. 4:", """\
+**Paper:** the tag-extended (storage-heavy) in-LLC variant matches the
+2x directory; the data-bits-borrowed variant loses 11% on average, >10%
+for several applications.
+**Measured:** 1.001 vs 1.049 average — the tag-extended variant is
+indistinguishable from baseline and every application pays for borrowing
+data bits, barnes most (+9%). Roughly half the paper's magnitude, again
+the blocking-core scaling."""),
+    ("Fig. 5:", """\
+**Paper:** in-LLC tracking adds ~1% processor and writeback traffic and
+>5% coherence traffic (forwarded shared reads).
+**Measured:** processor +0%, writeback +7% (the borrowed-bits partial
+messages), coherence 2.9x. The coherence *class* grows much more here
+because the baseline's absolute coherence traffic is small in the
+synthetic mix; total interconnect bytes grow 7%, in line with the
+paper's direction."""),
+    ("Fig. 6:", """\
+**Paper:** 30% of LLC accesses suffer a lengthened (3-hop) critical
+path on average; code accesses dominate for the commercial workloads.
+**Measured:** 36% average; code exceeds data for SPECWeb/SPECJBB/TPC
+rows; mgrid/art/ocean negligible — the application ranking the tiny
+directory's motivation rests on."""),
+    ("Fig. 7:", """\
+**Paper:** only 8% of allocated LLC blocks source all those lengthened
+accesses on average; barnes is the outlier at 78%.
+**Measured:** 8.0% average (coincidentally exact); barnes is the
+largest at 24%. The *concentration* argument — a tiny structure can
+cover the offenders — holds."""),
+    ("Fig. 8:", """\
+**Paper:** among non-zero-STRA blocks, the high categories are a small
+minority (C6+C7 = 12% of blocks).
+**Measured:** same left-heavy block distribution (C5+ = ~2%). Our
+residencies see fewer LLC reads per block, so the extreme categories
+are rarer than in multi-billion-instruction traces."""),
+    ("Fig. 9:", """\
+**Paper:** the offending *accesses* concentrate in the high categories
+(C6+C7 = 54% of accesses vs 12% of blocks).
+**Measured:** the access distribution is clearly right-shifted versus
+the block distribution (C4+ = 30% of accesses vs 6.5% of blocks) — the
+skew that makes STRA-based selection work, at compressed category
+range."""),
+    ("Fig. 10:", """\
+**Paper:** at 1/32x — DSTRA 1.01, +gNRU 1.01, +DynSpill 1.005 vs 2x.
+**Measured:** 1.028 / 1.027 / 1.008. Within a percent of the paper's
+gaps; spilling recovers most of the residual."""),
+    ("Fig. 11:", """\
+**Paper:** at 1/64x — 1.03 / 1.02 / 1.01.
+**Measured:** 1.038 / 1.039 / 1.011 — essentially the paper's numbers."""),
+    ("Fig. 12:", """\
+**Paper:** at 1/128x — 1.06 / 1.05 / 1.01.
+**Measured:** 1.043 / 1.043 / 1.013 — the paper's +DynSpill value to
+within a fraction of a percent."""),
+    ("Fig. 13:", """\
+**Paper:** at 1/256x — 1.08 / 1.06 / 1.01; the headline: a 23.75 KB
+structure within a percent of an 8 MB one.
+**Measured:** 1.045 / 1.045 / 1.016 — the full ordering (DSTRA ~= gNRU
+>> +spill ~= baseline) and the headline robustness reproduce. Our
+DSTRA-vs-gNRU delta is smaller than the paper's because short traces
+exercise few generations and eviction notices free dead entries quickly
+at this scale (see Figs. 16-17)."""),
+    ("Fig. 14:", """\
+**Paper:** residual lengthened accesses at 1/32x: 3% / 2% / <1%.
+**Measured:** 15% / 15% / 3.7% — the same collapse pattern: the
+allocation policies leave a residue that DynSpill removes. Our
+no-spill residue is larger than the paper's because the synthetic hot
+sets are big relative to the scaled tiny directory."""),
+    ("Fig. 15:", """\
+**Paper:** at 1/256x: 23% / 20% / 4% — spilling becomes essential.
+**Measured:** 30% / 30% / 6.8% — the same cliff: without spilling most
+of the in-LLC lengthening remains; DynSpill removes the bulk of it."""),
+    ("Fig. 16:", """\
+**Paper:** gNRU yields 3% / 12% / 23% / 39% more tiny-directory hits
+than DSTRA as the size shrinks 1/32x -> 1/256x.
+**Measured:** hit counts within 1% of DSTRA at every size — the gNRU
+hit advantage does not materialize at this scale, because eviction
+notices free dead entries quickly in small private caches, leaving few
+stale high-category entries for gNRU to reclaim (the paper's multi-
+billion-instruction runs with 2048-block L2s hold dead entries far
+longer). The allocation effect (Fig. 17) does appear."""),
+    ("Fig. 17:", """\
+**Paper:** gNRU admits vastly more allocations at small sizes (74x at
+1/256x) by evicting useless entries.
+**Measured:** gNRU admits 1.19x-1.28x the allocations of DSTRA, same
+direction, strongly compressed magnitude for the Fig. 16 reason."""),
+    ("Fig. 18:", """\
+**Paper:** entries still earn many hits per allocation under gNRU
+(17.5-59.5 across sizes) — the tracked subset is genuinely hot.
+**Measured:** 3.3-5.9 hits per allocation, *decreasing* with size
+(smaller directories keep only the hottest entries, so their per-entry
+hit counts are higher); the paper's increasing trend reflects allocation
+volumes our shorter runs do not reach. Entries still earn multiple hits
+each — tracking remains profitable at every size."""),
+    ("Fig. 19:", """\
+**Paper:** spilled entries save 2% / 5% / 11% / 16% of LLC accesses
+from lengthening as the tiny directory shrinks 1/32x -> 1/256x.
+**Measured:** 23.7% / 21.5% / 18.2% / 13.6% — the same inverse-size
+staircase (more spill benefit as the directory shrinks), with
+barnes/SPECWeb/TPC among the biggest beneficiaries as in the paper; our
+levels are higher because more of the hot set misses the tiny directory
+at scaled sizes."""),
+    ("Fig. 20:", """\
+**Paper:** DynSpill's LLC miss-rate increase stays under 0.5pp on
+average, max 2.1pp (316.applu at 1/256x) — within the delta guarantee.
+**Measured:** averages of +0.04pp to +0.07pp across sizes, maxima
+around 1pp, never approaching delta_A = 25pp. The guarantee mechanism
+(sampled no-spill sets + windowed threshold adaptation) is doing its
+job."""),
+    ("Fig. 21:", """\
+**Paper:** versus the 1/256x tiny directory, the 2x baseline burns ~19%
+more total (leakage-dominated) energy; baseline dynamic energy is lower
+(the tiny scheme pays extra LLC data writes for state updates); shrinking
+the baseline directory first saves energy then loses it to execution
+time.
+**Measured:** the same picture — tiny has the lowest total, the 2x
+baseline pays ~8% more total despite cheaper dynamic energy, the
+baseline curve bottoms out at 1x-1/2x and rises toward 1/16x, and
+execution cycles rise monotonically as the baseline shrinks. Structure
+capacities are evaluated at the paper's 128-core geometry (DESIGN.md)."""),
+    ("Fig. 22:", """\
+**Paper:** MgD loses 0.1% / 8% / 29% / 63% at 1/8x..1/64x; Stash 1/32x
+loses 41%, broadcast traffic being the bottleneck. Both are far from the
+tiny directory at equal size.
+**Measured:** MgD 1.33 / 1.36 / 1.38 / 1.44 and Stash 1.07 — both far
+above the tiny directory's 1.01-1.03 at the same sizes, the paper's
+comparison conclusion. Deviations: our MgD starts degraded already at
+1/8x because the synthetic workloads' shared (block-grain) footprint is
+large relative to the scaled directory, muting MgD's private-region
+savings; our Stash penalty is milder because a scaled 32-core broadcast
+is 4x cheaper than the 128-core one."""),
+    ("§V-A halved", """\
+**Paper:** with the whole hierarchy halved (16 MB LLC), the 1/128x tiny
+directory is +7% (gNRU) and +1% (+DynSpill) vs 2x.
+**Measured:** 1.041 (gNRU) and 1.019 (+DynSpill) — the same relation:
+spilling recovers most of the gNRU gap when capacity is halved and
+spilling pressure rises."""),
+    ("§VI multi-socket", """\
+**Paper:** §VI proposes the tiny directory for inter-socket tracking as
+future work (no evaluation).
+**Measured (new experiment):** modelling sockets as coherence agents,
+tiny directories with spilling stay within 1% of the 2x socket
+directory (1.002 at 1/32x, 1.008 at 1/128x) while sparse directories of
+the same sizes lose 29-40% — quantifying the paper's closing claim."""),
+    ("Ablation A1:", """\
+**New ablation (DESIGN.md §5):** the adaptive generation length is
+statistically indistinguishable from fixed 16K/256K-cycle generations
+at this scale — the gNRU mechanism is robust to its one magic number."""),
+    ("Ablation A2:", """\
+**New ablation:** adaptive delta classes A-D vs fixed delta_B: nearly
+identical performance and miss-rate impact here; the adaptive classes
+matter in phases with simultaneously high miss rate and high STRA ratio
+(rare in steady-state synthetic runs)."""),
+    ("Ablation A3:", """\
+**New ablation:** 4-, 6-, and 8-bit STRA counters perform identically
+at this scale, supporting the paper's choice of cheap 6-bit counters."""),
+]
+
+
+def extract_tables(log_text: str) -> "dict[str, str]":
+    """Map caption -> full table text, from the benchmark log."""
+    tables = {}
+    lines = log_text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if re.match(r"^(Fig\. \d+|Ablation A\d|§V)", line):
+            caption = line
+            block = [line]
+            i += 1
+            while i < len(lines) and (
+                "|" in lines[i] or lines[i].startswith("-") or
+                lines[i].startswith("  note")
+            ):
+                block.append(lines[i])
+                i += 1
+            tables[caption] = "\n".join(block)
+        else:
+            i += 1
+    return tables
+
+
+def main() -> int:
+    log_path = sys.argv[1] if len(sys.argv) > 1 else "bench_run1.log"
+    with open(log_path) as handle:
+        tables = extract_tables(handle.read())
+    parts = [HEADER]
+    used = set()
+    for prefix, commentary in COMMENTARY:
+        matches = [cap for cap in tables if cap.startswith(prefix) and cap not in used]
+        if not matches:
+            parts.append(f"## {prefix}\n\n*(table missing from {log_path})*\n")
+            continue
+        caption = matches[0]
+        used.add(caption)
+        parts.append(f"## {caption.split(':')[0]}\n")
+        parts.append(commentary + "\n")
+        parts.append("```\n" + tables[caption] + "\n```\n")
+    with open("EXPERIMENTS.md", "w") as handle:
+        handle.write("\n".join(parts))
+    print(f"EXPERIMENTS.md written with {len(used)} tables")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

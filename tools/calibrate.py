@@ -1,0 +1,16 @@
+"""Calibration sweep: per-app headline stats vs paper targets."""
+import sys, time
+from repro import SparseSpec, InLLCSpec, run_app, RunScale, APPLICATIONS
+
+apps = sys.argv[1:] or list(APPLICATIONS)
+sc = RunScale()
+print("%-12s %7s %7s %7s %7s %7s %7s" % ("app", "mr2x", "shared%", "len%", "lenblk%", "inllc", "t(s)"))
+for app in apps:
+    t = time.time()
+    base = run_app(app, SparseSpec(ratio=2.0), sc)
+    il = run_app(app, InLLCSpec(), sc)
+    s, si = base.stats, il.stats
+    print("%-12s %7.3f %7.3f %7.3f %7.3f %7.3f %7.1f" % (
+        app, s.llc_miss_rate, s.shared_block_fraction,
+        si.lengthened_fraction, si.lengthened_block_fraction,
+        il.cycles / base.cycles, time.time() - t))
