@@ -6,18 +6,25 @@ Usage::
     python -m repro fig01 fig10
     python -m repro --all --scale quick
     python -m repro fig13 --apps barnes TPC-C
+    python -m repro --all --keep-going --timeout 600
+    python -m repro fig10 --audit
 
 Each figure is printed as a text table (the same output the benchmark
 harness produces). Results are cached under ``.repro_cache/``.
+
+``--audit`` enables the online protocol auditor (equivalent to setting
+``REPRO_AUDIT=on``); ``--keep-going`` records per-run failures and keeps
+sweeping instead of aborting on the first crash.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import experiments
-from repro.analysis.runner import RunScale
+from repro.analysis.runner import HarnessPolicy, RunScale, harness
 
 #: CLI name -> (experiment callable, positional args).
 FIGURES = {
@@ -82,6 +89,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="APP",
         help="restrict to these applications (default: all seventeen)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the online protocol auditor (same as REPRO_AUDIT=on)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect per-run failures instead of aborting the sweep",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=int,
+        metavar="SECONDS",
+        help="per-run wall-clock limit (requires POSIX signals)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each failing run up to N extra times",
+    )
     return parser
 
 
@@ -100,15 +130,42 @@ def main(argv: "list[str] | None" = None) -> int:
     if unknown:
         print(f"unknown figures: {', '.join(unknown)} (try --list)", file=sys.stderr)
         return 2
+    if args.audit:
+        os.environ["REPRO_AUDIT"] = "on"
     scale = _SCALES[args.scale]()
-    for name in names:
-        fn, extra = FIGURES[name]
-        kwargs = {"apps": args.apps} if args.apps else {}
-        if name == "fig03z":
-            kwargs["zcache"] = True
-        figure = fn(*extra, scale, **kwargs)
-        print(figure.render())
-        print()
+    policy = HarnessPolicy(
+        keep_going=args.keep_going,
+        timeout_s=args.timeout,
+        max_retries=max(0, args.retries),
+    )
+    failed_figures = []
+    with harness(policy):
+        for name in names:
+            fn, extra = FIGURES[name]
+            kwargs = {"apps": args.apps} if args.apps else {}
+            if name == "fig03z":
+                kwargs["zcache"] = True
+            seen = len(policy.failures)
+            try:
+                figure = fn(*extra, scale, **kwargs)
+            except Exception as err:  # noqa: BLE001 - sweep boundary
+                if not args.keep_going:
+                    raise
+                failed_figures.append(name)
+                print(f"{name}: FAILED ({type(err).__name__}: {err})")
+                print()
+                continue
+            figure.failures.extend(policy.failures[seen:])
+            print(figure.render())
+            print()
+    if policy.failures or failed_figures:
+        print(
+            f"{len(policy.failures)} run(s) failed"
+            + (f"; figures aborted: {', '.join(failed_figures)}"
+               if failed_figures else ""),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

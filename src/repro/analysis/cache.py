@@ -8,6 +8,12 @@ objects as JSON under ``.repro_cache/``.
 The cache key includes the scheme spec, the run scale, and a version
 constant that is bumped whenever simulator behaviour changes. Set
 ``REPRO_CACHE=off`` to disable, or delete the directory to clear.
+
+The cache is crash-safe: entries are written to a temporary file and
+published with an atomic ``os.replace``, so a killed sweep never leaves
+a truncated JSON behind. If a corrupt entry is found anyway (e.g.
+written by an older version), it is quarantined as ``<entry>.bad`` and
+the run recomputed instead of aborting the whole figure.
 """
 
 from __future__ import annotations
@@ -16,8 +22,9 @@ import hashlib
 import json
 import os
 import pathlib
+import tempfile
 
-from repro.analysis.runner import RunScale, run_app
+from repro.analysis.runner import RunScale, run_app_guarded
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 
@@ -40,15 +47,9 @@ def _key(app: str, scheme, scale: RunScale) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
-def cached_run(app: str, scheme, scale: "RunScale | None" = None) -> RunResult:
-    """Like :func:`repro.analysis.runner.run_app`, but disk-cached."""
-    from repro.analysis.runner import scale_from_env
-
-    scale = scale or scale_from_env()
-    if not cache_enabled():
-        return run_app(app, scheme, scale)
-    path = cache_dir() / f"{_key(app, scheme, scale)}.json"
-    if path.exists():
+def _load_entry(path: pathlib.Path) -> "RunResult | None":
+    """Read one cache entry; quarantine and return None when corrupt."""
+    try:
         with open(path) as handle:
             payload = json.load(handle)
         return RunResult(
@@ -57,15 +58,62 @@ def cached_run(app: str, scheme, scale: "RunScale | None" = None) -> RunResult:
             stats=SimStats.load(payload["stats"]),
             meta={"cached": True},
         )
-    result = run_app(app, scheme, scale)
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+        _quarantine(path)
+        return None
+
+
+def _quarantine(path: pathlib.Path) -> None:
+    """Move a corrupt entry aside as ``<entry>.bad`` for post-mortems."""
+    try:
+        os.replace(path, path.with_suffix(path.suffix + ".bad"))
+    except OSError:
+        # Racing process already moved/removed it; recomputing is enough.
+        pass
+
+
+def _store_entry(path: pathlib.Path, result: RunResult) -> None:
+    """Atomically publish ``result`` at ``path`` (temp file + replace)."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(
-            {
-                "app": result.app,
-                "scheme": result.scheme,
-                "stats": result.stats.dump(),
-            },
-            handle,
-        )
+    payload = {
+        "app": result.app,
+        "scheme": result.scheme,
+        "stats": result.stats.dump(),
+    }
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def cached_run(app: str, scheme, scale: "RunScale | None" = None) -> RunResult:
+    """Like :func:`repro.analysis.runner.run_app`, but disk-cached.
+
+    Runs go through :func:`~repro.analysis.runner.run_app_guarded`, so a
+    ``keep_going`` harness policy applies here too; failed placeholder
+    results are returned but never written to the cache.
+    """
+    from repro.analysis.runner import scale_from_env
+
+    scale = scale or scale_from_env()
+    if not cache_enabled():
+        return run_app_guarded(app, scheme, scale)
+    path = cache_dir() / f"{_key(app, scheme, scale)}.json"
+    cached = _load_entry(path)
+    if cached is not None:
+        return cached
+    result = run_app_guarded(app, scheme, scale)
+    if not result.meta.get("failed"):
+        _store_entry(path, result)
     return result

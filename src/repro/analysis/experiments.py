@@ -31,6 +31,9 @@ class Figure:
     fmt: str = "{:.3f}"
     notes: str = ""
     raw: dict = field(default_factory=dict)
+    #: Per-run failures collected under a ``keep_going`` harness policy
+    #: (:class:`repro.analysis.runner.RunFailure`); rendered as a footer.
+    failures: list = field(default_factory=list)
 
     def render(self) -> str:
         """The text table for this figure."""
@@ -43,6 +46,8 @@ class Figure:
         )
         if self.notes:
             table += f"\n  note: {self.notes}"
+        for failure in self.failures:
+            table += f"\n  FAILED {failure}"
         return table
 
     def column(self, name: str) -> "list[float]":

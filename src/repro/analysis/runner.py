@@ -1,13 +1,26 @@
-"""Single-run driver used by examples, tests, and benchmarks."""
+"""Single-run driver used by examples, tests, and benchmarks.
+
+Besides :func:`run_app` (one application under one scheme), this module
+hosts the hardened harness policy: :func:`run_app_guarded` wraps a run
+with a per-run timeout, bounded retry, and — under ``keep_going`` — the
+collection of per-app failures instead of aborting a whole figure sweep
+on the first crash. See ``docs/resilience.md``.
+"""
 
 from __future__ import annotations
 
+import contextlib
 import os
-from dataclasses import dataclass
+import signal
+import threading
+from dataclasses import dataclass, field
 
+from repro.errors import RunTimeoutError
+from repro.resilience.auditor import auditor_from_env
 from repro.sim.config import SystemConfig
 from repro.sim.engine import run_trace
 from repro.sim.results import RunResult
+from repro.sim.stats import SimStats
 from repro.sim.system import System
 from repro.workloads.generator import generate_streams
 from repro.workloads.profiles import WorkloadProfile, profile
@@ -108,10 +121,148 @@ def run_app(
         config = scale.make_config(scheme)
     streams = generate_streams(app, config, scale.total_accesses, seed=scale.seed)
     system = System(config)
-    stats = run_trace(system, streams)
+    stats = run_trace(system, streams, auditor=auditor_from_env())
     return RunResult(
         app=app.name,
         scheme=getattr(scheme, "name", type(scheme).__name__),
         stats=stats,
         meta={"scheme_spec": scheme, "num_cores": config.num_cores},
+    )
+
+
+# ----------------------------------------------------------------------
+# Hardened harness: keep-going, per-run timeout, bounded retry
+# ----------------------------------------------------------------------
+
+@dataclass
+class RunFailure:
+    """One (app, scheme) run that exhausted its attempts."""
+
+    app: str
+    scheme: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.app}/{self.scheme}: {self.error} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+@dataclass
+class HarnessPolicy:
+    """How :func:`run_app_guarded` reacts to failing runs.
+
+    With the default policy a failing run raises immediately — exactly
+    the pre-hardening behaviour. Under ``keep_going`` the failure is
+    recorded in :attr:`failures` and a placeholder result (empty stats,
+    ``meta["failed"]``) is returned so a sweep can finish and report all
+    broken (app, scheme) cells at once.
+    """
+
+    keep_going: bool = False
+    #: Per-attempt wall-clock limit in seconds (None = unlimited).
+    timeout_s: "int | None" = None
+    #: Additional attempts after the first failure.
+    max_retries: int = 0
+    failures: "list[RunFailure]" = field(default_factory=list)
+
+
+#: Policy consulted by :func:`run_app_guarded`; swapped via :func:`harness`.
+_POLICY = HarnessPolicy()
+
+
+@contextlib.contextmanager
+def harness(policy: HarnessPolicy):
+    """Install ``policy`` as the active harness policy for a ``with`` body."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    try:
+        yield policy
+    finally:
+        _POLICY = previous
+
+
+def active_policy() -> HarnessPolicy:
+    """The harness policy currently in force."""
+    return _POLICY
+
+
+@contextlib.contextmanager
+def _alarm(seconds: "int | None"):
+    """Raise :class:`RunTimeoutError` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``, so the limit is only enforced on the main thread of
+    a POSIX process; elsewhere the body runs unbounded (the simulator is
+    single-threaded pure Python — there is no portable way to interrupt
+    it mid-computation without signals).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded {seconds}s wall-clock limit")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_app_guarded(
+    app: "str | WorkloadProfile",
+    scheme,
+    scale: "RunScale | None" = None,
+    config: "SystemConfig | None" = None,
+    policy: "HarnessPolicy | None" = None,
+) -> RunResult:
+    """:func:`run_app` under the active :class:`HarnessPolicy`.
+
+    Retries up to ``policy.max_retries`` extra times; each attempt is
+    bounded by ``policy.timeout_s``. When every attempt fails: under
+    ``keep_going`` the failure is appended to ``policy.failures`` and a
+    placeholder :class:`RunResult` is returned, otherwise the last error
+    propagates.
+    """
+    policy = policy if policy is not None else _POLICY
+    app_name = app if isinstance(app, str) else app.name
+    scheme_name = getattr(scheme, "name", type(scheme).__name__)
+    attempts = 1 + max(0, policy.max_retries)
+    last_error: "BaseException | None" = None
+    for _attempt in range(attempts):
+        try:
+            with _alarm(policy.timeout_s):
+                return run_app(app, scheme, scale, config)
+        except KeyboardInterrupt:
+            raise
+        except Exception as err:  # noqa: BLE001 - harness boundary
+            last_error = err
+    assert last_error is not None
+    if not policy.keep_going:
+        raise last_error
+    policy.failures.append(
+        RunFailure(
+            app=app_name,
+            scheme=scheme_name,
+            error=f"{type(last_error).__name__}: {last_error}",
+            attempts=attempts,
+        )
+    )
+    return RunResult(
+        app=app_name,
+        scheme=scheme_name,
+        stats=SimStats(),
+        meta={"failed": True, "error": str(last_error)},
     )

@@ -163,6 +163,24 @@ class LLCBank:
                 self._to_mru(lines, data_line)
         return data_line, spill_line
 
+    def peek(self, addr: int) -> "tuple[LLCLine | None, LLCLine | None]":
+        """Quiet :meth:`lookup`: no recency update, no activity counters.
+
+        Used by the invariant checkers and the fault injector so that
+        auditing a run never perturbs its statistics.
+        """
+        lines = self._sets.get(self.set_index(addr))
+        data_line = None
+        spill_line = None
+        if lines:
+            for line in lines:
+                if line.tag == addr:
+                    if line.is_spill:
+                        spill_line = line
+                    else:
+                        data_line = line
+        return data_line, spill_line
+
     @staticmethod
     def _to_mru(lines: "list[LLCLine]", line: LLCLine) -> None:
         if lines[-1] is not line:

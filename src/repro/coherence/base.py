@@ -23,6 +23,7 @@ from repro.coherence.transaction import AccessOutcome
 from repro.interconnect.mesh import Mesh2D
 from repro.interconnect.traffic import MessageClass, TrafficMeter
 from repro.memory.dram import DramModel
+from repro.resilience.recorder import NullRecorder
 from repro.sim.config import SystemConfig
 from repro.types import AccessKind, LLCState, PrivateState
 
@@ -44,6 +45,9 @@ class BaseHome:
         self.cores = cores
         self.stats = stats
         self.traffic: TrafficMeter = stats.traffic
+        #: Transaction flight recorder; a no-op unless online auditing is
+        #: enabled (the auditor swaps in a real FlightRecorder).
+        self.recorder = NullRecorder()
         self.num_banks = config.num_banks
         self.banks = [
             LLCBank(
@@ -145,6 +149,8 @@ class BaseHome:
         for holder in coh.holders():
             if holder == except_core:
                 continue
+            if self.recorder.enabled:
+                self.recorder.record(addr, "invalidate", core=holder)
             prior = self.cores[holder].invalidate(addr)
             self.traffic.control(MessageClass.COHERENCE)  # invalidation
             if prior is PrivateState.MODIFIED:

@@ -23,7 +23,7 @@ from repro.coherence.transaction import AccessOutcome
 from repro.core.spill import DynamicSpillPolicy, SpillConfig
 from repro.core.stra import StraCounters
 from repro.core.tiny_directory import TinyDirectory
-from repro.errors import ProtocolError
+from repro.errors import InvariantViolation, ProtocolError
 from repro.interconnect.traffic import MessageClass
 from repro.types import AccessKind, LLCState, PrivateState
 
@@ -87,6 +87,8 @@ class InLLCHome(BaseHome):
         coh = victim.coh
         dirty = victim.underlying_dirty
         holders = coh.holders()
+        if self.recorder.enabled:
+            self.recorder.record(addr, "back_invalidate", detail=f"holders={holders}")
         had_modified = False
         for holder in holders:
             prior = self.cores[holder].invalidate(addr)
@@ -120,6 +122,10 @@ class InLLCHome(BaseHome):
         out = AccessOutcome()
         home = self.bank_of(addr)
         bank = self.banks[home]
+        if self.recorder.enabled:
+            self.recorder.record(
+                addr, "upgrade" if upgrade else kind.name.lower(), core=core
+            )
         self.traffic.control(MessageClass.PROCESSOR)
         line, _ = bank.lookup(addr)
 
@@ -289,6 +295,8 @@ class InLLCHome(BaseHome):
     def handle_private_eviction(
         self, core: int, addr: int, state: PrivateState, now: int
     ) -> None:
+        if self.recorder.enabled:
+            self.recorder.record(addr, "evict_notice", core=core, detail=state.name)
         bank = self.banks[self.bank_of(addr)]
         line, _ = bank.lookup(addr, touch=False)
         if line is None or line.coh is None:
@@ -326,7 +334,7 @@ class InLLCHome(BaseHome):
     def _tracks(self, addr: int, core: int) -> bool:
         """True when some structure records ``core`` holding ``addr``."""
         bank = self.banks[self.bank_of(addr)]
-        line, spill = bank.lookup(addr, touch=False)
+        line, spill = bank.peek(addr)
         if line is not None and line.coh is not None and line.coh.holds(core):
             return True
         return spill is not None and spill.coh.holds(core)
@@ -339,16 +347,20 @@ class InLLCHome(BaseHome):
                 holders.setdefault(addr, []).append(core.core_id)
                 if state.is_exclusive:
                     if addr in exclusive_holder:
-                        raise ProtocolError(
+                        raise InvariantViolation(
                             f"block {addr:#x} exclusively held by both "
-                            f"{exclusive_holder[addr]} and {core.core_id}"
+                            f"{exclusive_holder[addr]} and {core.core_id}",
+                            addr=addr,
+                            cores=(exclusive_holder[addr], core.core_id),
                         )
                     exclusive_holder[addr] = core.core_id
         for addr, holder in exclusive_holder.items():
             if len(holders[addr]) > 1:
-                raise ProtocolError(
+                raise InvariantViolation(
                     f"block {addr:#x} held exclusively by {holder} while "
-                    f"also cached by {holders[addr]}"
+                    f"also cached by {holders[addr]}",
+                    addr=addr,
+                    cores=tuple(holders[addr]),
                 )
 
     def check_invariants(self) -> None:
@@ -359,17 +371,21 @@ class InLLCHome(BaseHome):
                 for holder in line.coh.holders():
                     state = self.cores[holder].state_of(line.tag)
                     if state is PrivateState.INVALID:
-                        raise ProtocolError(
+                        raise InvariantViolation(
                             f"LLC tracks core {holder} holding {line.tag:#x} "
-                            f"but its cache does not"
+                            f"but its cache does not",
+                            addr=line.tag,
+                            cores=(holder,),
                         )
         self._check_single_writer()
         for core in self.cores:
             for addr, _ in core.resident_blocks():
                 if not self._tracks(addr, core.core_id):
-                    raise ProtocolError(
+                    raise InvariantViolation(
                         f"core {core.core_id} caches {addr:#x} but no LLC "
-                        f"line tracks it"
+                        f"line tracks it",
+                        addr=addr,
+                        cores=(core.core_id,),
                     )
 
 
@@ -411,6 +427,10 @@ class TinyHome(InLLCHome):
         out = AccessOutcome()
         home = self.bank_of(addr)
         bank = self.banks[home]
+        if self.recorder.enabled:
+            self.recorder.record(
+                addr, "upgrade" if upgrade else kind.name.lower(), core=core
+            )
         self.traffic.control(MessageClass.PROCESSOR)
         entry = self.tiny.lookup(addr, now)
         line, spill = bank.lookup(addr)
@@ -671,6 +691,8 @@ class TinyHome(InLLCHome):
         coh, stra = victim_entry.coh, victim_entry.stra
         if coh.is_idle:
             return
+        if self.recorder.enabled:
+            self.recorder.record(vaddr, "tiny_rehome", detail=f"holders={coh.holders()}")
         bank = self.banks[self.bank_of(vaddr)]
         vline, vspill = bank.lookup(vaddr, touch=False)
         if vspill is not None:
@@ -700,6 +722,8 @@ class TinyHome(InLLCHome):
         self._mark_tracked(vline, bank)
 
     def _back_invalidate_untracked(self, addr, coh, now) -> None:
+        if self.recorder.enabled:
+            self.recorder.record(addr, "back_invalidate", detail=f"holders={coh.holders()}")
         had_dirty = False
         for holder in coh.holders():
             prior = self.cores[holder].invalidate(addr)
@@ -749,6 +773,8 @@ class TinyHome(InLLCHome):
     def handle_private_eviction(
         self, core: int, addr: int, state: PrivateState, now: int
     ) -> None:
+        if self.recorder.enabled:
+            self.recorder.record(addr, "evict_notice", core=core, detail=state.name)
         entry = self.tiny.find_quiet(addr)
         bank = self.banks[self.bank_of(addr)]
         if entry is not None:
@@ -805,21 +831,26 @@ class TinyHome(InLLCHome):
         for entry in self.tiny.iter_entries():
             for holder in entry.coh.holders():
                 if not self.cores[holder].holds(entry.addr):
-                    raise ProtocolError(
+                    raise InvariantViolation(
                         f"tiny directory tracks core {holder} holding "
-                        f"{entry.addr:#x} but its cache does not"
+                        f"{entry.addr:#x} but its cache does not",
+                        addr=entry.addr,
+                        cores=(holder,),
                     )
         for bank in self.banks:
             for line in bank.iter_lines():
                 if line.is_spill:
-                    data_line, _ = bank.lookup(line.tag, touch=False)
+                    data_line, _ = bank.peek(line.tag)
                     if data_line is None:
-                        raise ProtocolError(
-                            f"spilled entry {line.tag:#x} without its data block"
+                        raise InvariantViolation(
+                            f"spilled entry {line.tag:#x} without its data block",
+                            addr=line.tag,
                         )
                     for holder in line.coh.holders():
                         if not self.cores[holder].holds(line.tag):
-                            raise ProtocolError(
+                            raise InvariantViolation(
                                 f"spilled entry tracks core {holder} holding "
-                                f"{line.tag:#x} but its cache does not"
+                                f"{line.tag:#x} but its cache does not",
+                                addr=line.tag,
+                                cores=(holder,),
                             )

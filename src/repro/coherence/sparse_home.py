@@ -22,7 +22,7 @@ from repro.coherence.info import CohInfo
 from repro.coherence.transaction import AccessOutcome
 from repro.directory.mgd import BLOCKS_PER_REGION, MultiGrainDirectory, RegionEntry
 from repro.directory.stash import StashState
-from repro.errors import ProtocolError
+from repro.errors import InvariantViolation, ProtocolError
 from repro.interconnect.traffic import MessageClass
 from repro.types import AccessKind, LLCState, PrivateState
 
@@ -59,6 +59,8 @@ class SparseHome(BaseHome):
 
     def _back_invalidate(self, addr: int, coh: CohInfo, now: int) -> None:
         """Invalidate every private copy of an evicted tracking entry."""
+        if self.recorder.enabled:
+            self.recorder.record(addr, "back_invalidate", detail=f"holders={coh.holders()}")
         self.stats.back_invalidations += len(coh.holders())
         self._invalidate_holders(addr, coh, now)
 
@@ -104,6 +106,10 @@ class SparseHome(BaseHome):
         out = AccessOutcome()
         home = self.bank_of(addr)
         bank = self.banks[home]
+        if self.recorder.enabled:
+            self.recorder.record(
+                addr, "upgrade" if upgrade else kind.name.lower(), core=core
+            )
         self.traffic.control(MessageClass.PROCESSOR)  # the request
         coh = self._find(addr, core, now, out)
         line, _ = bank.lookup(addr)
@@ -258,6 +264,8 @@ class SparseHome(BaseHome):
     def handle_private_eviction(
         self, core: int, addr: int, state: PrivateState, now: int
     ) -> None:
+        if self.recorder.enabled:
+            self.recorder.record(addr, "evict_notice", core=core, detail=state.name)
         if state is PrivateState.MODIFIED:
             self.traffic.data(MessageClass.WRITEBACK)
             self._ensure_llc_data(addr, dirty=True, now=now)
@@ -277,7 +285,7 @@ class SparseHome(BaseHome):
     def _tracks(self, addr: int, core: int) -> bool:
         """True when the tracking structures record ``core`` holding
         ``addr`` (used by the reverse invariant)."""
-        coh = self.directory.lookup(addr, touch=False)
+        coh = self.directory.peek(addr)
         return coh is not None and coh.holds(core)
 
     def check_invariants(self) -> None:
@@ -287,22 +295,28 @@ class SparseHome(BaseHome):
                 for holder in coh.holders():
                     state = self.cores[holder].state_of(addr)
                     if state is PrivateState.INVALID:
-                        raise ProtocolError(
+                        raise InvariantViolation(
                             f"directory records core {holder} holding "
-                            f"{addr:#x} but its cache does not"
+                            f"{addr:#x} but its cache does not",
+                            addr=addr,
+                            cores=(holder,),
                         )
                     if coh.is_exclusive and not state.is_exclusive:
-                        raise ProtocolError(
+                        raise InvariantViolation(
                             f"directory says {addr:#x} exclusive at {holder}, "
-                            f"cache says {state}"
+                            f"cache says {state}",
+                            addr=addr,
+                            cores=(holder,),
                         )
         self._check_single_writer()
         for core in self.cores:
             for addr, _ in core.resident_blocks():
                 if not self._tracks(addr, core.core_id):
-                    raise ProtocolError(
+                    raise InvariantViolation(
                         f"core {core.core_id} caches {addr:#x} but no "
-                        f"tracking structure records it"
+                        f"tracking structure records it",
+                        addr=addr,
+                        cores=(core.core_id,),
                     )
 
     def _check_single_writer(self) -> None:
@@ -313,16 +327,20 @@ class SparseHome(BaseHome):
                 holders.setdefault(addr, []).append(core.core_id)
                 if state.is_exclusive:
                     if addr in exclusive_holder:
-                        raise ProtocolError(
-                            f"blocks {addr:#x} exclusively held by both "
-                            f"{exclusive_holder[addr]} and {core.core_id}"
+                        raise InvariantViolation(
+                            f"block {addr:#x} exclusively held by both "
+                            f"{exclusive_holder[addr]} and {core.core_id}",
+                            addr=addr,
+                            cores=(exclusive_holder[addr], core.core_id),
                         )
                     exclusive_holder[addr] = core.core_id
         for addr, holder in exclusive_holder.items():
             if len(holders[addr]) > 1:
-                raise ProtocolError(
+                raise InvariantViolation(
                     f"block {addr:#x} held exclusively by {holder} while "
-                    f"also cached by {holders[addr]}"
+                    f"also cached by {holders[addr]}",
+                    addr=addr,
+                    cores=tuple(holders[addr]),
                 )
 
 
@@ -380,10 +398,20 @@ class SharedOnlyHome(SparseHome):
         super().check_invariants()
         for addr, coh in self._unbounded.items():
             if coh.sharer_count() >= 2:
-                raise ProtocolError(
+                raise InvariantViolation(
                     f"block {addr:#x} with two sharers left in the "
-                    f"unbounded private tracker"
+                    f"unbounded private tracker",
+                    addr=addr,
+                    cores=tuple(coh.holders()),
                 )
+            for holder in coh.holders():
+                if self.cores[holder].state_of(addr) is PrivateState.INVALID:
+                    raise InvariantViolation(
+                        f"unbounded tracker records core {holder} holding "
+                        f"{addr:#x} but its cache does not",
+                        addr=addr,
+                        cores=(holder,),
+                    )
 
 
 class StashHome(SparseHome):
@@ -412,6 +440,8 @@ class StashHome(SparseHome):
         if holder is None:
             return None
         # Broadcast recovery: query every core, collect responses.
+        if self.recorder.enabled:
+            self.recorder.record(addr, "stash_recover", core=holder)
         self.stash.unstash(addr)
         self.stats.broadcasts += 1
         num_cores = self.config.num_cores
@@ -445,8 +475,10 @@ class StashHome(SparseHome):
         for addr in list(self.stash._stashed):
             holder = self.stash.owner_of(addr)
             if not self.cores[holder].holds(addr):
-                raise ProtocolError(
-                    f"stashed block {addr:#x} is not cached by core {holder}"
+                raise InvariantViolation(
+                    f"stashed block {addr:#x} is not cached by core {holder}",
+                    addr=addr,
+                    cores=(holder,),
                 )
 
 
@@ -477,6 +509,8 @@ class MgdHome(SparseHome):
         return self.directory.lookup_block(addr)
 
     def _demote_region(self, addr, region_entry, now, out) -> None:
+        if self.recorder.enabled:
+            self.recorder.record(addr, "region_demote", core=region_entry.owner)
         region = self.directory.region_of(addr)
         self.directory.remove_region(region)
         owner = region_entry.owner
@@ -539,6 +573,8 @@ class MgdHome(SparseHome):
             self._drop(addr, coh)
 
     def handle_private_eviction(self, core, addr, state, now):
+        if self.recorder.enabled:
+            self.recorder.record(addr, "evict_notice", core=core, detail=state.name)
         if state is PrivateState.MODIFIED:
             self.traffic.data(MessageClass.WRITEBACK)
             self._ensure_llc_data(addr, dirty=True, now=now)
@@ -557,10 +593,10 @@ class MgdHome(SparseHome):
                 self.directory.remove_region(self.directory.region_of(addr))
 
     def _tracks(self, addr, core):
-        coh = self.directory.lookup_block(addr, touch=False)
+        coh = self.directory.peek_block(addr)
         if coh is not None and coh.holds(core):
             return True
-        entry = self.directory.lookup_region(addr, touch=False)
+        entry = self.directory.peek_region(addr)
         return (
             entry is not None
             and entry.owner == core
@@ -569,10 +605,31 @@ class MgdHome(SparseHome):
 
     def check_invariants(self) -> None:
         self._check_single_writer()
+        for addr, coh in self.directory.iter_blocks():
+            for holder in coh.holders():
+                if self.cores[holder].state_of(addr) is PrivateState.INVALID:
+                    raise InvariantViolation(
+                        f"MgD block entry records core {holder} holding "
+                        f"{addr:#x} but its cache does not",
+                        addr=addr,
+                        cores=(holder,),
+                    )
+        for region, entry in self.directory.iter_regions():
+            for baddr in entry.blocks(region):
+                if self.cores[entry.owner].state_of(baddr) is PrivateState.INVALID:
+                    raise InvariantViolation(
+                        f"MgD region {region:#x} marks block {baddr:#x} "
+                        f"present at core {entry.owner} but its cache "
+                        f"does not hold it",
+                        addr=baddr,
+                        cores=(entry.owner,),
+                    )
         for core in self.cores:
             for addr, _ in core.resident_blocks():
                 if not self._tracks(addr, core.core_id):
-                    raise ProtocolError(
+                    raise InvariantViolation(
                         f"core {core.core_id} caches {addr:#x} but MgD "
-                        f"does not track it"
+                        f"does not track it",
+                        addr=addr,
+                        cores=(core.core_id,),
                     )

@@ -117,6 +117,28 @@ class MultiGrainDirectory:
         line = slice_.lookup(set_index, self._region_key(region), touch=touch)
         return None if line is None else line.payload
 
+    def peek_block(self, addr: int) -> "CohInfo | None":
+        """Quiet :meth:`lookup_block` (invariant checks, fault injection)."""
+        return self.lookup_block(addr, touch=False)
+
+    def peek_region(self, addr: int) -> "RegionEntry | None":
+        """Quiet :meth:`lookup_region` (invariant checks, fault injection)."""
+        return self.lookup_region(addr, touch=False)
+
+    def iter_blocks(self):
+        """Yield ``(addr, CohInfo)`` for every live block-grain entry."""
+        for bank, slice_ in enumerate(self._slices):
+            for _, line in slice_.iter_lines():
+                if line.tag & 1 == self._BLOCK:
+                    yield (line.tag >> 1) * self.num_banks + bank, line.payload
+
+    def iter_regions(self):
+        """Yield ``(region, RegionEntry)`` for every live region entry."""
+        for slice_ in self._slices:
+            for _, line in slice_.iter_lines():
+                if line.tag & 1 == self._REGION:
+                    yield line.tag >> 1, line.payload
+
     def allocate_block(self, addr: int, coh: CohInfo):
         """Install a block entry; returns the victim, see :meth:`_victim`."""
         slice_, set_index = self._locate(

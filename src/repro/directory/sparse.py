@@ -69,6 +69,16 @@ class SparseDirectory:
         self.hits += 1
         return line.payload
 
+    def peek(self, addr: int) -> "CohInfo | None":
+        """Quiet :meth:`lookup`: no hit/miss counting, no recency touch.
+
+        Used by the invariant checkers and the fault injector so that
+        auditing a run never perturbs its statistics.
+        """
+        slice_, set_index = self._locate(addr)
+        line = slice_.lookup(set_index, addr, touch=False)
+        return None if line is None else line.payload
+
     def allocate(self, addr: int, coh: CohInfo) -> "tuple[int, CohInfo] | None":
         """Install a tracking entry for ``addr``.
 

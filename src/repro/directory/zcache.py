@@ -154,6 +154,20 @@ class ZCacheDirectory:
         self.hits += 1
         return entry.coh
 
+    def peek(self, addr: int) -> "CohInfo | None":
+        """Quiet :meth:`lookup`: no counters, no reference-bit update.
+
+        Used by the invariant checkers and the fault injector so that
+        auditing a run never perturbs its statistics or replacement state.
+        """
+        slice_ = self._slice(addr)
+        key = addr // self.num_banks
+        for way, row in slice_.candidates(key):
+            entry = slice_.arrays[way][row]
+            if entry is not None and entry.addr == key:
+                return entry.coh
+        return None
+
     def allocate(self, addr: int, coh: CohInfo) -> "tuple[int, CohInfo] | None":
         """Install an entry; returns the evicted (addr, CohInfo), if any."""
         slice_index = addr % self.num_banks

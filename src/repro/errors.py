@@ -19,5 +19,54 @@ class ProtocolError(ReproError):
     """
 
 
+class InvariantViolation(ProtocolError):
+    """A protocol invariant failed, with structured diagnostic context.
+
+    Raised by the invariant checkers and by the online
+    :class:`~repro.resilience.auditor.ProtocolAuditor`. Beyond the plain
+    message it carries the corrupted address, the cores involved, the
+    home bank, and (when auditing is enabled) the last few transactions
+    the flight recorder captured for that address.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        addr: "int | None" = None,
+        cores: "tuple[int, ...] | list[int]" = (),
+        bank: "int | None" = None,
+        history: "tuple | list" = (),
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.addr = addr
+        self.cores = tuple(cores)
+        self.bank = bank
+        self.history = tuple(history)
+
+    def __str__(self) -> str:
+        parts = [self.message]
+        if self.addr is not None:
+            parts.append(f"addr={self.addr:#x}")
+        if self.cores:
+            parts.append(f"cores={list(self.cores)}")
+        if self.bank is not None:
+            parts.append(f"home_bank={self.bank}")
+        if self.history:
+            trace = "; ".join(str(record) for record in self.history)
+            parts.append(f"last_transactions=[{trace}]")
+        return " | ".join(parts)
+
+
+class FaultInjectionError(ReproError):
+    """A :class:`~repro.resilience.faults.FaultPlan` could not be applied
+    (e.g. the targeted address is not currently tracked anywhere)."""
+
+
 class TraceError(ReproError):
     """A malformed trace record or an access outside the configured system."""
+
+
+class RunTimeoutError(ReproError):
+    """A single simulation exceeded the harness per-run timeout."""

@@ -1,0 +1,96 @@
+"""Bounded per-address transaction flight recorder.
+
+The home controllers call :meth:`record` at every interesting protocol
+event (access, eviction notice, invalidation, back-invalidation, state
+transfer). When a protocol invariant trips, the auditor attaches the last
+few records for the corrupted address to the raised
+:class:`~repro.errors.InvariantViolation`, so the diagnostic shows *how*
+the block got into the bad state — not just that it is bad.
+
+By default every controller carries a :class:`NullRecorder` whose
+``enabled`` flag is False, and the hot paths guard on that flag, so a run
+without auditing records nothing and behaves bit-identically to a build
+without the recorder at all.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+
+class TransactionRecord:
+    """One captured protocol event for one block address."""
+
+    __slots__ = ("seq", "event", "addr", "core", "detail")
+
+    def __init__(self, seq: int, event: str, addr: int, core: "int | None", detail: str) -> None:
+        self.seq = seq
+        self.event = event
+        self.addr = addr
+        self.core = core
+        self.detail = detail
+
+    def __str__(self) -> str:
+        core = f" core={self.core}" if self.core is not None else ""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"#{self.seq} {self.event}{core}{detail}"
+
+    __repr__ = __str__
+
+
+class NullRecorder:
+    """Recording disabled: every hook is a no-op."""
+
+    enabled = False
+
+    def record(
+        self,
+        addr: int,
+        event: str,
+        core: "int | None" = None,
+        detail: str = "",
+    ) -> None:
+        pass
+
+    def history(self, addr: int) -> "tuple[TransactionRecord, ...]":
+        return ()
+
+
+class FlightRecorder(NullRecorder):
+    """Keeps the last ``depth`` transactions of each recently-seen address.
+
+    Bounded on both axes: each address keeps a ``depth``-deep ring, and at
+    most ``max_addresses`` addresses are retained (least recently recorded
+    are forgotten first), so arbitrarily long runs cannot grow the
+    recorder without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, depth: int = 8, max_addresses: int = 4096) -> None:
+        self.depth = max(1, depth)
+        self.max_addresses = max(1, max_addresses)
+        self.seq = 0
+        self._per_addr: "OrderedDict[int, deque[TransactionRecord]]" = OrderedDict()
+
+    def record(
+        self,
+        addr: int,
+        event: str,
+        core: "int | None" = None,
+        detail: str = "",
+    ) -> None:
+        self.seq += 1
+        ring = self._per_addr.get(addr)
+        if ring is None:
+            ring = deque(maxlen=self.depth)
+            self._per_addr[addr] = ring
+            if len(self._per_addr) > self.max_addresses:
+                self._per_addr.popitem(last=False)
+        else:
+            self._per_addr.move_to_end(addr)
+        ring.append(TransactionRecord(self.seq, event, addr, core, detail))
+
+    def history(self, addr: int) -> "tuple[TransactionRecord, ...]":
+        ring = self._per_addr.get(addr)
+        return tuple(ring) if ring else ()

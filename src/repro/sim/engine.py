@@ -8,6 +8,12 @@ machine's memory system would observe them (fast cores race ahead until
 their memory stalls let others catch up). Execution time is the largest
 final core clock — the parallel region ends when the slowest thread
 finishes, matching the paper's whole-ROI execution-time metric.
+
+When a :class:`~repro.resilience.auditor.ProtocolAuditor` is supplied,
+the engine re-verifies every protocol invariant each ``audit_interval``
+accesses (and once more at end of trace), so a corruption raises an
+:class:`~repro.errors.InvariantViolation` within one audit window
+instead of silently poisoning the rest of the run.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ class TraceEngine:
     ``warmup_fraction`` of the accesses are executed to populate the
     caches and directories but excluded from the reported statistics,
     mirroring the paper's practice of measuring only the region of
-    interest after warmup.
+    interest after warmup. The warmup window is clamped so that at least
+    one access is always measured (guarding against zero or negative
+    measurement windows on very short traces).
     """
 
     def __init__(
@@ -33,6 +41,7 @@ class TraceEngine:
         system: System,
         streams: "list[list[Access]]",
         warmup_fraction: float = 0.4,
+        auditor=None,
     ) -> None:
         if len(streams) > system.config.num_cores:
             raise ValueError(
@@ -43,12 +52,19 @@ class TraceEngine:
         self.system = system
         self.streams = streams
         self.warmup_fraction = warmup_fraction
+        self.auditor = auditor
 
     def run(self) -> SimStats:
         """Run every stream to completion; returns finalized stats."""
         system = self.system
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.install(system)
         total = sum(len(stream) for stream in self.streams)
         warmup_left = int(total * self.warmup_fraction)
+        if total and warmup_left >= total:
+            # Degenerate fraction/rounding: always measure >= 1 access.
+            warmup_left = total - 1
         heap = [
             (0, core, 0)
             for core, stream in enumerate(self.streams)
@@ -67,14 +83,19 @@ class TraceEngine:
             if done > finish:
                 finish = done
             processed += 1
+            if auditor is not None and processed % auditor.interval == 0:
+                auditor.audit(system)
             if warmup_left and processed == warmup_left:
                 system.stats.reset()
                 measure_start = finish
             index += 1
             if index < len(self.streams[core]):
                 heapq.heappush(heap, (done, core, index))
+        if auditor is not None and (total == 0 or processed % auditor.interval):
+            # Close the final (partial) audit window.
+            auditor.audit(system)
         stats = system.finalize()
-        stats.cycles = finish - measure_start
+        stats.cycles = max(0, finish - measure_start)
         return stats
 
 
@@ -82,6 +103,7 @@ def run_trace(
     system: System,
     streams: "list[list[Access]]",
     warmup_fraction: float = 0.4,
+    auditor=None,
 ) -> SimStats:
     """Convenience wrapper: run ``streams`` on ``system`` and return stats."""
-    return TraceEngine(system, streams, warmup_fraction).run()
+    return TraceEngine(system, streams, warmup_fraction, auditor=auditor).run()

@@ -41,7 +41,7 @@ class System:
     :attr:`stats`.
     """
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, fault_injector=None) -> None:
         self.config = config
         self.mesh = Mesh2D(
             config.num_cores,
@@ -62,6 +62,12 @@ class System:
         self.stats = SimStats()
         self.home = self._build_home(config.scheme)
         self._finalized = False
+        #: Completed-access counter (drives fault injection and auditing).
+        self.access_index = 0
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`.
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(self)
 
     # ------------------------------------------------------------------
     # Scheme wiring
@@ -117,6 +123,13 @@ class System:
 
     def access(self, acc: Access, now: int) -> int:
         """Process one access at cycle ``now``; returns its latency."""
+        latency = self._access(acc, now)
+        self.access_index += 1
+        if self.fault_injector is not None:
+            self.fault_injector.on_access(self)
+        return latency
+
+    def _access(self, acc: Access, now: int) -> int:
         config = self.config
         if not 0 <= acc.core < config.num_cores:
             raise TraceError(f"access from core {acc.core} outside the system")
@@ -136,7 +149,12 @@ class System:
             core.complete_upgrade(acc.addr)
             return config.l1_latency + out.latency
         notices = core.fill(acc.addr, acc.kind, out.fill_state)
+        injector = self.fault_injector
         for notice in notices:
+            if injector is not None and injector.intercept_eviction(
+                acc.core, notice.addr
+            ):
+                continue
             self.home.handle_private_eviction(
                 acc.core, notice.addr, notice.state, now
             )

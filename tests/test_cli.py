@@ -37,3 +37,41 @@ class TestCli:
         code = main(["fig03z", "--scale", "quick", "--apps", "compress"])
         assert code == 0
         assert "Z-cache" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    def test_audit_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        code = main(["fig07", "--scale", "quick", "--apps", "compress",
+                     "--audit"])
+        assert code == 0
+        import os
+
+        assert os.environ.get("REPRO_AUDIT") == "on"
+
+    def test_keep_going_reports_failures_and_exits_nonzero(
+        self, capsys, monkeypatch
+    ):
+        def boom(app, scheme, scale=None, config=None):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", boom)
+        code = main(["fig07", "--scale", "quick", "--apps", "compress",
+                     "--keep-going"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out or "FAILED" in captured.err
+        assert "run(s) failed" in captured.err
+
+    def test_without_keep_going_failures_abort(self, monkeypatch):
+        def boom(app, scheme, scale=None, config=None):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", boom)
+        with pytest.raises(RuntimeError):
+            main(["fig07", "--scale", "quick", "--apps", "compress"])
+
+    def test_audited_sweep_runs_clean(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "on")
+        code = main(["fig07", "--scale", "quick", "--apps", "compress"])
+        assert code == 0

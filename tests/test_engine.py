@@ -75,6 +75,54 @@ class TestWarmup:
         assert 0 < stats.cycles < full.cycles
 
 
+class TestEdgeCases:
+    def test_all_streams_empty(self):
+        system = small_system()
+        stats = run_trace(system, [[], [], []], warmup_fraction=0.4)
+        assert stats.accesses == 0
+        assert stats.cycles == 0
+
+    def test_no_streams_at_all(self):
+        system = small_system()
+        stats = run_trace(system, [], warmup_fraction=0.4)
+        assert stats.accesses == 0
+        assert stats.cycles == 0
+
+    def test_single_access_stream(self):
+        system = small_system()
+        stats = run_trace(system, [reads(0, [0x40])], warmup_fraction=0.4)
+        assert stats.accesses == 1
+        assert stats.cycles > 0
+
+    def test_single_access_with_high_warmup_still_measures_it(self):
+        # int(1 * 0.99) == 0 warmup accesses, so the one access counts.
+        system = small_system()
+        stats = run_trace(system, [reads(0, [0x40])], warmup_fraction=0.99)
+        assert stats.accesses == 1
+        assert stats.cycles >= 0
+
+    def test_warmup_consuming_nearly_everything(self):
+        # int(10 * 0.99) == 9: the clamp must leave >= 1 measured access
+        # and a non-negative cycle count.
+        system = small_system()
+        stats = run_trace(system, [reads(0, range(10))], warmup_fraction=0.99)
+        assert stats.accesses >= 1
+        assert stats.cycles >= 0
+
+    def test_zero_warmup_measures_everything(self):
+        system = small_system()
+        stats = run_trace(system, [reads(0, range(7)), reads(1, range(7))],
+                          warmup_fraction=0.0)
+        assert stats.accesses == 14
+
+    def test_empty_run_with_auditor(self):
+        from repro.resilience import ProtocolAuditor
+
+        system = small_system()
+        stats = run_trace(system, [[]], auditor=ProtocolAuditor(interval=10))
+        assert stats.accesses == 0
+
+
 class TestDeterminism:
     def test_same_trace_same_result(self):
         def run():

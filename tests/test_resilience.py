@@ -1,0 +1,303 @@
+"""Resilience subsystem tests: auditing, flight recorder, hardened harness.
+
+The acceptance bar (ISSUE): a fault injected via a FaultPlan into each
+scheme is detected by the online auditor within one audit interval,
+raising :class:`InvariantViolation` naming the corrupted address and the
+involved cores; with auditing disabled, clean runs are bit-identical;
+corrupt cache entries are quarantined and recomputed; ``keep_going``
+collects per-run failures instead of aborting.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cache import cached_run
+from repro.analysis.runner import (
+    HarnessPolicy,
+    RunFailure,
+    RunScale,
+    harness,
+    run_app_guarded,
+)
+from repro.errors import InvariantViolation, RunTimeoutError
+from repro.resilience import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FlightRecorder,
+    NullRecorder,
+    ProtocolAuditor,
+    auditor_from_env,
+)
+from repro.sim.config import (
+    InLLCSpec,
+    MgdSpec,
+    SparseSpec,
+    StashSpec,
+    SystemConfig,
+    TinySpec,
+)
+from repro.sim.engine import run_trace
+from repro.sim.system import System
+from repro.workloads.generator import generate_streams
+from repro.workloads.profiles import profile
+
+AUDIT_INTERVAL = 250
+INJECT_AT = 1000  # audit-window boundary: corruption is seen immediately
+
+
+def _build(spec, fault_kind=None, num_cores: int = 8):
+    """System + streams for a small real workload, optionally faulted."""
+    config = SystemConfig(num_cores=num_cores, l1_kb=1, l2_kb=4, scheme=spec)
+    streams = generate_streams(profile("barnes"), config, 6000, seed=3)
+    injector = None
+    if fault_kind is not None:
+        plan = FaultPlan(
+            faults=(Fault(kind=fault_kind, after_access=INJECT_AT),), seed=7
+        )
+        injector = FaultInjector(plan)
+    system = System(config, fault_injector=injector)
+    return system, streams
+
+
+SCHEMES = [
+    pytest.param(SparseSpec(ratio=2.0), id="sparse"),
+    pytest.param(InLLCSpec(), id="inllc"),
+    pytest.param(TinySpec(ratio=1 / 32, policy="dstra"), id="tiny"),
+    pytest.param(MgdSpec(ratio=1 / 8), id="mgd"),
+    pytest.param(StashSpec(ratio=1 / 32), id="stash"),
+]
+
+
+class TestOnlineAuditor:
+    @pytest.mark.parametrize("spec", SCHEMES)
+    def test_fault_detected_within_one_audit_interval(self, spec):
+        system, streams = _build(spec, FaultKind.DROP_PRIVATE_COPY)
+        auditor = ProtocolAuditor(interval=AUDIT_INTERVAL)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_trace(system, streams, auditor=auditor)
+        [injected] = system.fault_injector.injected
+        assert injected.access_index == INJECT_AT
+        assert system.access_index - injected.access_index <= AUDIT_INTERVAL
+        message = str(excinfo.value)
+        assert f"{excinfo.value.addr:#x}" in message
+        assert excinfo.value.cores, "violation must name the involved cores"
+        for core in excinfo.value.cores:
+            assert str(core) in message
+
+    @pytest.mark.parametrize("spec", SCHEMES)
+    def test_corrupt_tracking_entry_detected(self, spec):
+        system, streams = _build(spec, FaultKind.CORRUPT_DIRECTORY_ENTRY)
+        auditor = ProtocolAuditor(interval=AUDIT_INTERVAL)
+        with pytest.raises(InvariantViolation):
+            run_trace(system, streams, auditor=auditor)
+
+    def test_diagnostics_include_bank_and_history(self):
+        system, streams = _build(SparseSpec(ratio=2.0), FaultKind.DROP_PRIVATE_COPY)
+        auditor = ProtocolAuditor(interval=AUDIT_INTERVAL)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_trace(system, streams, auditor=auditor)
+        violation = excinfo.value
+        assert violation.bank == system.home.bank_of(violation.addr)
+        assert violation.history, "flight recorder should hold transactions"
+        assert "last_transactions" in str(violation)
+        # The injected fault itself is on the record for that address.
+        assert any("fault:" in str(record) for record in violation.history)
+
+    @pytest.mark.parametrize("spec", SCHEMES)
+    def test_clean_run_bit_identical_with_auditing(self, spec):
+        system_plain, streams = _build(spec)
+        stats_plain = run_trace(system_plain, streams)
+        system_audited, streams = _build(spec)
+        stats_audited = run_trace(
+            system_audited, streams, auditor=ProtocolAuditor(interval=100)
+        )
+        assert stats_plain.dump() == stats_audited.dump()
+
+    def test_clean_run_passes_audits(self):
+        system, streams = _build(TinySpec(ratio=1 / 32, policy="gnru", spill=True,
+                                          spill_window=64))
+        run_trace(system, streams, auditor=ProtocolAuditor(interval=50))
+
+
+class TestAuditorFromEnv:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert auditor_from_env() is None
+
+    @pytest.mark.parametrize("value", ["off", "0", "no", "false"])
+    def test_explicitly_disabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_AUDIT", value)
+        assert auditor_from_env() is None
+
+    @pytest.mark.parametrize("value", ["on", "1", "yes", "true"])
+    def test_enabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_AUDIT", value)
+        auditor = auditor_from_env()
+        assert auditor is not None
+
+    def test_numeric_interval(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "123")
+        assert auditor_from_env().interval == 123
+
+
+class TestFlightRecorder:
+    def test_null_recorder_is_inert(self):
+        recorder = NullRecorder()
+        assert not recorder.enabled
+        recorder.record(0x40, "fill", core=1)
+        assert recorder.history(0x40) == ()
+
+    def test_bounded_depth(self):
+        recorder = FlightRecorder(depth=3)
+        for i in range(10):
+            recorder.record(0x40, f"event{i}", core=0)
+        history = recorder.history(0x40)
+        assert len(history) == 3
+        assert [r.event for r in history] == ["event7", "event8", "event9"]
+
+    def test_sequence_numbers_are_global(self):
+        recorder = FlightRecorder()
+        recorder.record(0x40, "a", core=0)
+        recorder.record(0x80, "b", core=1)
+        seqs = [recorder.history(addr)[0].seq for addr in (0x40, 0x80)]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 2
+
+    def test_bounded_address_count(self):
+        recorder = FlightRecorder(depth=2, max_addresses=4)
+        for addr in range(8):
+            recorder.record(addr, "touch", core=0)
+        assert recorder.history(0) == ()  # oldest addresses dropped
+        assert recorder.history(7)
+
+
+class TestCrashSafeCache:
+    def _scale(self):
+        return RunScale(num_cores=4, total_accesses=800)
+
+    def test_truncated_entry_quarantined_and_recomputed(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        scale = self._scale()
+        first = cached_run("barnes", SparseSpec(ratio=2.0), scale)
+        [entry] = list(tmp_path.glob("*.json"))
+        # Simulate a kill mid-write (pre-hardening): truncate the JSON.
+        entry.write_text(entry.read_text()[: len(entry.read_text()) // 2])
+        again = cached_run("barnes", SparseSpec(ratio=2.0), scale)
+        assert again.stats.dump() == first.stats.dump()
+        assert not again.meta.get("cached")
+        assert list(tmp_path.glob("*.json.bad")), "corrupt entry quarantined"
+        # And the recomputed entry is valid and served from cache now.
+        third = cached_run("barnes", SparseSpec(ratio=2.0), scale)
+        assert third.meta.get("cached")
+
+    def test_no_temp_files_left_behind(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        cached_run("barnes", SparseSpec(ratio=2.0), self._scale())
+        assert not list(tmp_path.glob("*.tmp"))
+        [entry] = list(tmp_path.glob("*.json"))
+        json.loads(entry.read_text())  # parseable, complete
+
+    def test_failed_runs_are_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "on")
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", boom)
+        policy = HarnessPolicy(keep_going=True)
+        with harness(policy):
+            result = cached_run("barnes", SparseSpec(ratio=2.0), self._scale())
+        assert result.meta.get("failed")
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestHardenedHarness:
+    def test_keep_going_collects_failures(self, monkeypatch):
+        calls = []
+
+        def boom(app, scheme, scale=None, config=None):
+            calls.append(app)
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", boom)
+        policy = HarnessPolicy(keep_going=True, max_retries=1)
+        with harness(policy):
+            result = run_app_guarded("barnes", SparseSpec(ratio=2.0))
+        assert result.meta.get("failed")
+        assert "synthetic failure" in result.meta["error"]
+        [failure] = policy.failures
+        assert isinstance(failure, RunFailure)
+        assert failure.app == "barnes"
+        assert failure.attempts == 2
+        assert len(calls) == 2  # one retry
+
+    def test_without_keep_going_the_error_propagates(self, monkeypatch):
+        def boom(app, scheme, scale=None, config=None):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", boom)
+        with pytest.raises(RuntimeError):
+            run_app_guarded("barnes", SparseSpec(ratio=2.0))
+
+    def test_retry_can_succeed(self, monkeypatch):
+        attempts = []
+        real_run_app = __import__(
+            "repro.analysis.runner", fromlist=["run_app"]
+        ).run_app
+
+        def flaky(app, scheme, scale=None, config=None):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return real_run_app(
+                app, scheme, RunScale(num_cores=4, total_accesses=400)
+            )
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", flaky)
+        policy = HarnessPolicy(keep_going=True, max_retries=2)
+        with harness(policy):
+            result = run_app_guarded("barnes", SparseSpec(ratio=2.0))
+        assert not result.meta.get("failed")
+        assert not policy.failures
+        assert len(attempts) == 2
+
+    @pytest.mark.skipif(
+        not hasattr(os, "fork") or not hasattr(__import__("signal"), "SIGALRM"),
+        reason="needs POSIX signals",
+    )
+    def test_timeout_raises_runtimeout(self, monkeypatch):
+        import time
+
+        def slow(app, scheme, scale=None, config=None):
+            time.sleep(5)
+
+        monkeypatch.setattr("repro.analysis.runner.run_app", slow)
+        policy = HarnessPolicy(timeout_s=1)
+        start = time.monotonic()
+        with harness(policy):
+            with pytest.raises(RunTimeoutError):
+                run_app_guarded("barnes", SparseSpec(ratio=2.0))
+        assert time.monotonic() - start < 4
+
+
+class TestInvariantViolationDiagnostics:
+    def test_structured_fields_render_in_message(self):
+        violation = InvariantViolation(
+            "phantom sharer", addr=0x1234, cores=(1, 5), bank=3
+        )
+        message = str(violation)
+        assert "phantom sharer" in message
+        assert "0x1234" in message
+        assert "[1, 5]" in message
+        assert "home_bank=3" in message
+
+    def test_plain_message_unchanged(self):
+        assert str(InvariantViolation("just text")) == "just text"
