@@ -5,18 +5,38 @@ scale selected by ``REPRO_SCALE`` (quick / default / full) and prints the
 figure's series as a text table; pytest-benchmark records the wall time.
 Results are cached under ``.repro_cache/`` so figures sharing runs (all
 normalized figures share the 2x baselines) do not recompute them.
+
+Figure point lists are submitted through the parallel sweep executor
+(:mod:`repro.parallel`): the experiment is planned once to harvest its
+(app, scheme, scale) points, the uncached points are fanned out over
+``REPRO_JOBS`` worker processes (default: all cores), and the figure is
+then rendered from the warm cache — bit-identical to a serial run, but
+wall-clock bound by the slowest point instead of the sum of all points.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.analysis.cache import cache_enabled
+from repro.parallel import collect_points, pending_points, resolve_jobs, run_sweep
+
 
 @pytest.fixture
 def figure_runner(benchmark):
-    """Run an experiment function once and print its rendered table."""
+    """Run an experiment function once and print its rendered table.
+
+    When more than one worker is available (``REPRO_JOBS`` or cpu
+    count) and the result cache is enabled, the experiment's uncached
+    points are executed through the parallel sweep executor first.
+    """
 
     def run(experiment, *args, **kwargs):
+        jobs = resolve_jobs()
+        if jobs > 1 and cache_enabled():
+            points = pending_points(collect_points(experiment, *args, **kwargs))
+            if points:
+                run_sweep(points, jobs=jobs)
         figure = benchmark.pedantic(
             lambda: experiment(*args, **kwargs), rounds=1, iterations=1
         )

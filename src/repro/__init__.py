@@ -23,9 +23,30 @@ The package layers:
   applications.
 * ``repro.energy`` / ``repro.analysis`` — the energy model and the
   per-figure experiment harness.
+* ``repro.parallel`` — the process-based sweep executor with profiling
+  hooks (``run_sweep``, ``collect_points``); see ``docs/harness.md``.
+
+The full documented public surface is re-exported here; see
+``docs/architecture.md`` for the module map.
 """
 
-from repro.analysis.runner import RunScale, run_app, scale_from_env
+from repro.analysis.cache import cached_run
+from repro.analysis.runner import (
+    HarnessPolicy,
+    RunFailure,
+    RunScale,
+    harness,
+    run_app,
+    run_app_guarded,
+    scale_from_env,
+)
+from repro.parallel import (
+    RunProfile,
+    SweepPoint,
+    SweepReport,
+    collect_points,
+    run_sweep,
+)
 from repro.sim.config import (
     InLLCSpec,
     MgdSpec,
@@ -48,23 +69,33 @@ __all__ = [
     "Access",
     "AccessKind",
     "APPLICATIONS",
+    "HarnessPolicy",
     "InLLCSpec",
     "MgdSpec",
     "PROFILES",
+    "RunFailure",
+    "RunProfile",
     "RunResult",
     "RunScale",
     "SimStats",
     "SparseSpec",
     "StashSpec",
+    "SweepPoint",
+    "SweepReport",
     "SyntheticTraceGenerator",
     "System",
     "SystemConfig",
     "TinySpec",
     "TraceEngine",
     "WorkloadProfile",
+    "cached_run",
+    "collect_points",
     "generate_streams",
+    "harness",
     "profile",
     "run_app",
+    "run_app_guarded",
+    "run_sweep",
     "run_trace",
     "scale_from_env",
     "__version__",

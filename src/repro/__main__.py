@@ -4,17 +4,22 @@ Usage::
 
     python -m repro --list
     python -m repro fig01 fig10
-    python -m repro --all --scale quick
+    python -m repro --all --scale quick --jobs 4
     python -m repro fig13 --apps barnes TPC-C
     python -m repro --all --keep-going --timeout 600
     python -m repro fig10 --audit
+    python -m repro fig13 --profile
 
 Each figure is printed as a text table (the same output the benchmark
 harness produces). Results are cached under ``.repro_cache/``.
 
-``--audit`` enables the online protocol auditor (equivalent to setting
-``REPRO_AUDIT=on``); ``--keep-going`` records per-run failures and keeps
-sweeping instead of aborting on the first crash.
+``--jobs N`` (or ``REPRO_JOBS``) fans the figures' independent
+(app, scheme, scale) points out over N worker processes before
+rendering; results are bit-identical to a serial run. ``--profile``
+prints a per-sweep summary plus cProfile stats of the slowest computed
+point. ``--audit`` enables the online protocol auditor (equivalent to
+setting ``REPRO_AUDIT=on``); ``--keep-going`` records per-run failures
+and keeps sweeping instead of aborting on the first crash.
 """
 
 from __future__ import annotations
@@ -24,7 +29,17 @@ import os
 import sys
 
 from repro.analysis import experiments
+from repro.analysis.cache import cache_dir, cache_enabled
 from repro.analysis.runner import HarnessPolicy, RunScale, harness
+from repro.parallel import (
+    collect_points,
+    dedupe_points,
+    pending_points,
+    print_slowest_profile,
+    render_profiles_table,
+    resolve_jobs,
+    run_sweep,
+)
 
 #: CLI name -> (experiment callable, positional args).
 FIGURES = {
@@ -101,9 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--timeout",
-        type=int,
+        type=float,
         metavar="SECONDS",
-        help="per-run wall-clock limit (requires POSIX signals)",
+        help="per-run wall-clock limit (cooperative deadline; works on "
+        "every platform and in worker processes)",
     )
     parser.add_argument(
         "--retries",
@@ -112,7 +128,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retry each failing run up to N extra times",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (default: REPRO_JOBS, else "
+        "all cores); results are bit-identical to a serial run",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-point profiles plus cProfile stats of the slowest "
+        "computed point",
+    )
     return parser
+
+
+def _prewarm(names, scale, args, policy, jobs: int) -> None:
+    """Plan the figures' point lists and fan them out over the pool.
+
+    Collects every (app, scheme, scale) point the requested figures
+    will ask the result cache for, drops the already-cached ones, and
+    executes the rest through :func:`repro.parallel.run_sweep`. The
+    figure-render pass that follows then runs entirely from cache, so
+    figure output (and failure reporting) is identical to a serial run.
+    """
+    points = []
+    for name in names:
+        fn, extra = FIGURES[name]
+        kwargs = {"apps": args.apps} if args.apps else {}
+        if name == "fig03z":
+            kwargs["zcache"] = True
+        points.extend(collect_points(fn, *extra, scale, **kwargs))
+    points = pending_points(dedupe_points(points))
+    if not points and not args.profile:
+        return
+    profile_dir = str(cache_dir() / "profiles") if args.profile else None
+    report = run_sweep(points, jobs=jobs, policy=policy,
+                       profile_dir=profile_dir)
+    print(report.summary().render(), file=sys.stderr)
+    if args.profile:
+        if report.profiles:
+            print(render_profiles_table(report.profiles))
+        print_slowest_profile(report.profiles)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -138,8 +198,11 @@ def main(argv: "list[str] | None" = None) -> int:
         timeout_s=args.timeout,
         max_retries=max(0, args.retries),
     )
+    jobs = resolve_jobs(args.jobs)
     failed_figures = []
     with harness(policy):
+        if (jobs > 1 or args.profile) and cache_enabled():
+            _prewarm(names, scale, args, policy, jobs)
         for name in names:
             fn, extra = FIGURES[name]
             kwargs = {"apps": args.apps} if args.apps else {}

@@ -13,18 +13,41 @@ The cache is crash-safe: entries are written to a temporary file and
 published with an atomic ``os.replace``, so a killed sweep never leaves
 a truncated JSON behind. If a corrupt entry is found anyway (e.g.
 written by an older version), it is quarantined as ``<entry>.bad`` and
-the run recomputed instead of aborting the whole figure.
+the run recomputed instead of aborting the whole figure. Atomic
+publication also makes the cache safe under *concurrent* writers: the
+:mod:`repro.parallel` sweep executor routes every completed point
+through this module, and two processes racing on the same point both
+publish complete, identical entries (runs are deterministic), with the
+last ``os.replace`` winning.
+
+Two hooks exist for the parallel sweep engine:
+
+* :func:`recording_points` flips :func:`cached_run` into a planning
+  mode that records the requested (app, scheme, scale) points instead
+  of simulating, so an experiment's point list can be harvested and
+  fanned out over a worker pool (see :mod:`repro.parallel.planner`).
+* :func:`mark_failed` registers a point that already exhausted its
+  attempts in a pool worker; under a ``keep_going`` policy a later
+  :func:`cached_run` for that point replays the recorded failure
+  instead of recomputing (and timing out / crashing) a second time.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import hashlib
 import json
 import os
 import pathlib
 import tempfile
 
-from repro.analysis.runner import RunScale, run_app_guarded
+from repro.analysis.runner import (
+    RunFailure,
+    RunScale,
+    active_policy,
+    run_app_guarded,
+)
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 
@@ -45,6 +68,88 @@ def cache_enabled() -> bool:
 def _key(app: str, scheme, scale: RunScale) -> str:
     payload = f"v{CACHE_VERSION}|{app}|{scheme!r}|{scale!r}"
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def point_key(app: str, scheme, scale: RunScale) -> str:
+    """The stable cache key of one (app, scheme, scale) sweep point."""
+    return _key(app, scheme, scale)
+
+
+def has_entry(app: str, scheme, scale: RunScale) -> bool:
+    """True when a published cache entry exists for this point."""
+    if not cache_enabled():
+        return False
+    return (cache_dir() / f"{_key(app, scheme, scale)}.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Planning mode and worker-failure replay (repro.parallel hooks)
+# ----------------------------------------------------------------------
+
+#: When not None, :func:`cached_run` records points here instead of
+#: simulating (see :func:`recording_points`).
+_RECORDER: "list[tuple] | None" = None
+
+#: Points a pool worker already failed on, keyed by :func:`point_key`.
+_FAILED_MARKS: "dict[str, RunFailure]" = {}
+
+
+@contextlib.contextmanager
+def recording_points():
+    """Record the points :func:`cached_run` is asked for, run nothing.
+
+    Inside the ``with`` body every :func:`cached_run` call appends its
+    ``(app, scheme, scale)`` tuple to the yielded list and returns a
+    cheap placeholder result (``meta["planned"]``, ``cycles == 1`` so
+    normalizations stay finite). No simulation runs and no cache I/O
+    happens. Scopes restore the previous recorder on exit, so they nest.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    recorded: "list[tuple]" = []
+    _RECORDER = recorded
+    try:
+        yield recorded
+    finally:
+        _RECORDER = previous
+
+
+def _planning_result(app: str, scheme) -> RunResult:
+    stats = SimStats()
+    stats.cycles = 1
+    return RunResult(
+        app=app,
+        scheme=getattr(scheme, "name", type(scheme).__name__),
+        stats=stats,
+        meta={"planned": True},
+    )
+
+
+def mark_failed(key: str, failure: RunFailure) -> None:
+    """Register a point whose pool-worker run exhausted its attempts.
+
+    Under a ``keep_going`` harness policy, :func:`cached_run` replays
+    the failure for that point — appending a copy to the active policy's
+    ``failures`` and returning a placeholder result, exactly as a serial
+    recompute would, but without paying for the doomed run again.
+    """
+    _FAILED_MARKS[key] = failure
+
+
+def clear_failed_marks() -> None:
+    """Forget all :func:`mark_failed` registrations (tests, new sweeps)."""
+    _FAILED_MARKS.clear()
+
+
+def _replay_failure(app: str, scheme, failure: RunFailure) -> RunResult:
+    policy = active_policy()
+    policy.failures.append(dataclasses.replace(failure))
+    return RunResult(
+        app=app,
+        scheme=getattr(scheme, "name", type(scheme).__name__),
+        stats=SimStats(),
+        meta={"failed": True, "error": failure.error},
+    )
 
 
 def _load_entry(path: pathlib.Path) -> "RunResult | None":
@@ -103,13 +208,26 @@ def cached_run(app: str, scheme, scale: "RunScale | None" = None) -> RunResult:
     Runs go through :func:`~repro.analysis.runner.run_app_guarded`, so a
     ``keep_going`` harness policy applies here too; failed placeholder
     results are returned but never written to the cache.
+
+    Inside a :func:`recording_points` scope the point is recorded and a
+    placeholder returned instead (planning mode). Points registered via
+    :func:`mark_failed` replay their failure under a ``keep_going``
+    policy rather than recomputing.
     """
     from repro.analysis.runner import scale_from_env
 
     scale = scale or scale_from_env()
+    if _RECORDER is not None:
+        _RECORDER.append((app, scheme, scale))
+        return _planning_result(app, scheme)
     if not cache_enabled():
         return run_app_guarded(app, scheme, scale)
-    path = cache_dir() / f"{_key(app, scheme, scale)}.json"
+    key = _key(app, scheme, scale)
+    if _FAILED_MARKS and active_policy().keep_going:
+        failure = _FAILED_MARKS.get(key)
+        if failure is not None:
+            return _replay_failure(app, scheme, failure)
+    path = cache_dir() / f"{key}.json"
     cached = _load_entry(path)
     if cached is not None:
         return cached

@@ -4,19 +4,20 @@ Besides :func:`run_app` (one application under one scheme), this module
 hosts the hardened harness policy: :func:`run_app_guarded` wraps a run
 with a per-run timeout, bounded retry, and — under ``keep_going`` — the
 collection of per-app failures instead of aborting a whole figure sweep
-on the first crash. See ``docs/resilience.md``.
+on the first crash. Timeouts are enforced with the cooperative deadline
+of :mod:`repro.sim.deadline`, so they work in any thread and inside
+:mod:`repro.parallel` pool workers. See ``docs/harness.md`` and
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
-import signal
-import threading
 from dataclasses import dataclass, field
 
-from repro.errors import RunTimeoutError
 from repro.resilience.auditor import auditor_from_env
+from repro.sim.deadline import deadline_scope
 from repro.sim.config import SystemConfig
 from repro.sim.engine import run_trace
 from repro.sim.results import RunResult
@@ -162,8 +163,11 @@ class HarnessPolicy:
     """
 
     keep_going: bool = False
-    #: Per-attempt wall-clock limit in seconds (None = unlimited).
-    timeout_s: "int | None" = None
+    #: Per-attempt wall-clock limit in seconds (None = unlimited). The
+    #: limit is a cooperative deadline checked inside the trace engine
+    #: and the stream generator (see :mod:`repro.sim.deadline`), so it
+    #: works on every platform, in any thread, and in pool workers.
+    timeout_s: "float | None" = None
     #: Additional attempts after the first failure.
     max_retries: int = 0
     failures: "list[RunFailure]" = field(default_factory=list)
@@ -190,37 +194,6 @@ def active_policy() -> HarnessPolicy:
     return _POLICY
 
 
-@contextlib.contextmanager
-def _alarm(seconds: "int | None"):
-    """Raise :class:`RunTimeoutError` after ``seconds`` of wall clock.
-
-    Uses ``SIGALRM``, so the limit is only enforced on the main thread of
-    a POSIX process; elsewhere the body runs unbounded (the simulator is
-    single-threaded pure Python — there is no portable way to interrupt
-    it mid-computation without signals).
-    """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise RunTimeoutError(f"run exceeded {seconds}s wall-clock limit")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.alarm(seconds)
-    try:
-        yield
-    finally:
-        signal.alarm(0)
-        signal.signal(signal.SIGALRM, previous)
-
-
 def run_app_guarded(
     app: "str | WorkloadProfile",
     scheme,
@@ -231,10 +204,11 @@ def run_app_guarded(
     """:func:`run_app` under the active :class:`HarnessPolicy`.
 
     Retries up to ``policy.max_retries`` extra times; each attempt is
-    bounded by ``policy.timeout_s``. When every attempt fails: under
-    ``keep_going`` the failure is appended to ``policy.failures`` and a
-    placeholder :class:`RunResult` is returned, otherwise the last error
-    propagates.
+    bounded by ``policy.timeout_s`` (a cooperative wall-clock deadline
+    raising :class:`~repro.errors.RunTimeoutError`). When every attempt
+    fails: under ``keep_going`` the failure is appended to
+    ``policy.failures`` and a placeholder :class:`RunResult` is
+    returned, otherwise the last error propagates.
     """
     policy = policy if policy is not None else _POLICY
     app_name = app if isinstance(app, str) else app.name
@@ -243,7 +217,7 @@ def run_app_guarded(
     last_error: "BaseException | None" = None
     for _attempt in range(attempts):
         try:
-            with _alarm(policy.timeout_s):
+            with deadline_scope(policy.timeout_s):
                 return run_app(app, scheme, scale, config)
         except KeyboardInterrupt:
             raise

@@ -1,0 +1,267 @@
+"""Process-based sweep execution.
+
+:func:`run_sweep` fans a list of independent :class:`SweepPoint`\\ s out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` and routes every
+completed point through the crash-safe result cache
+(:mod:`repro.analysis.cache`), so a figure rendered afterwards finds all
+its runs precomputed. The harness semantics of
+:func:`~repro.analysis.runner.run_app_guarded` are preserved per worker:
+
+* **timeout** — enforced with the cooperative deadline of
+  :mod:`repro.sim.deadline` (``SIGALRM`` would not survive in a pool
+  worker, where tasks never run on a fresh main thread's signal state);
+* **retries** — each worker retries its point up to
+  ``policy.max_retries`` extra times before reporting a failure;
+* **keep-going** — worker failures come back as data
+  (:class:`~repro.analysis.runner.RunFailure`); under a ``keep_going``
+  parent policy they are registered with
+  :func:`repro.analysis.cache.mark_failed` so the render pass replays
+  them without recomputing, and under a strict policy the first failure
+  (in submission order, for determinism) is re-raised in the parent;
+* **audit mode** — ``REPRO_*`` environment (audit, scale, cache
+  location) is snapshotted at submission time and re-applied in each
+  worker, so ``--audit`` sweeps audit every worker's runs.
+
+Determinism: a parallel sweep produces **bit-identical** statistics to
+the serial path. Every point's random seed derives from its own
+``scale.seed``; nothing depends on pool scheduling, completion order, or
+worker identity. The only thing parallelism changes is wall-clock time.
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import errors as _errors
+from repro.analysis import cache as result_cache
+from repro.analysis.runner import (
+    HarnessPolicy,
+    RunFailure,
+    active_policy,
+    harness,
+)
+from repro.parallel.points import SweepPoint, dedupe_points
+from repro.parallel.profiling import RunProfile, SweepSummary, summarize
+from repro.sim.results import RunResult
+
+
+def resolve_jobs(jobs: "int | None" = None) -> int:
+    """Resolve the worker count: explicit > ``REPRO_JOBS`` > cpu count."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass
+class SweepReport:
+    """Everything one :func:`run_sweep` call produced."""
+
+    #: The deduplicated points, in submission order.
+    points: "list[SweepPoint]"
+    #: One result per point, aligned with :attr:`points`.
+    results: "list[RunResult]"
+    #: One profile per point, aligned with :attr:`points`.
+    profiles: "list[RunProfile]"
+    #: Failures collected across workers (submission order).
+    failures: "list[RunFailure]" = field(default_factory=list)
+    wall_s: float = 0.0
+    jobs: int = 1
+
+    def summary(self) -> SweepSummary:
+        return summarize(self.profiles, self.jobs, self.wall_s)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-worker configuration installed by :func:`_init_worker`.
+_WORKER: "dict[str, object]" = {}
+
+
+def _init_worker(env: "dict[str, str]", timeout_s, max_retries, profile_dir):
+    """Pool initializer: re-apply the parent's ``REPRO_*`` environment.
+
+    With the default ``fork`` start method the environment is inherited
+    anyway; re-applying it keeps spawn/forkserver children (and any env
+    mutation racing pool creation) consistent with the submitting
+    process.
+    """
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in env:
+            del os.environ[key]
+    os.environ.update(env)
+    _WORKER["timeout_s"] = timeout_s
+    _WORKER["max_retries"] = max_retries
+    _WORKER["profile_dir"] = profile_dir
+
+
+def _execute_point(index: int, point: SweepPoint, policy: HarnessPolicy,
+                   profile_dir: "str | None"):
+    """Run one point under ``policy``; return (result, profile, profiled path)."""
+    profiler = None
+    stats_path = None
+    start = time.perf_counter()
+    with harness(policy):
+        if profile_dir is not None and not point.is_cached():
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                result = result_cache.cached_run(point.app, point.scheme,
+                                                 point.scale)
+            finally:
+                profiler.disable()
+        else:
+            result = result_cache.cached_run(point.app, point.scheme,
+                                             point.scale)
+    wall = time.perf_counter() - start
+    cache_hit = bool(result.meta.get("cached"))
+    failed = bool(result.meta.get("failed"))
+    if profiler is not None and not cache_hit and not failed:
+        os.makedirs(profile_dir, exist_ok=True)
+        stats_path = os.path.join(profile_dir, f"{point.key()}.prof")
+        profiler.dump_stats(stats_path)
+    rate = 0.0
+    if not cache_hit and not failed and wall > 0:
+        rate = point.scale.total_accesses / wall
+    profile = RunProfile(
+        app=point.app,
+        scheme=point.scheme_name,
+        index=index,
+        wall_s=wall,
+        accesses_per_s=rate,
+        cache_hit=cache_hit,
+        failed=failed,
+        worker=os.getpid(),
+        stats_path=stats_path,
+    )
+    return result, profile
+
+
+def _run_point(index: int, point: SweepPoint):
+    """Top-level pool task (must be picklable by reference)."""
+    policy = HarnessPolicy(
+        keep_going=True,  # failures travel back as data, never tracebacks
+        timeout_s=_WORKER.get("timeout_s"),
+        max_retries=int(_WORKER.get("max_retries") or 0),
+    )
+    result, profile = _execute_point(
+        index, point, policy, _WORKER.get("profile_dir")
+    )
+    return index, result, profile, list(policy.failures)
+
+
+def _rebuild_error(failure: RunFailure) -> Exception:
+    """Turn a worker's ``"Type: message"`` failure back into an exception.
+
+    Only exception types from :mod:`builtins` and :mod:`repro.errors`
+    are reconstructed; anything else becomes a ``RuntimeError`` carrying
+    the original text.
+    """
+    name, sep, message = failure.error.partition(": ")
+    exc_type = getattr(_errors, name, None) or getattr(builtins, name, None)
+    if sep and isinstance(exc_type, type) and issubclass(exc_type, Exception):
+        return exc_type(message)
+    return RuntimeError(str(failure))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+def run_sweep(
+    points: "list[SweepPoint]",
+    jobs: "int | None" = None,
+    policy: "HarnessPolicy | None" = None,
+    profile_dir: "str | None" = None,
+) -> SweepReport:
+    """Execute ``points`` over a worker pool, through the result cache.
+
+    Args:
+        points: the sweep; duplicates (same cache key) run once.
+        jobs: worker processes (default: ``REPRO_JOBS`` or cpu count);
+            clamped to the number of unique points. ``jobs <= 1`` runs
+            inline in this process with identical semantics.
+        policy: harness policy applied per worker (timeout, retries,
+            keep-going); defaults to the active policy.
+        profile_dir: when given, each computed point runs under cProfile
+            and dumps its stats there (the ``--profile`` machinery).
+
+    Under a ``keep_going`` policy, worker failures end up in the
+    report's ``failures`` and are registered via
+    :func:`repro.analysis.cache.mark_failed`; the parent policy's own
+    ``failures`` list is *not* extended here, so the figure-render pass
+    that follows reports each failure exactly as the serial path would.
+    Under a strict policy the first failure is re-raised.
+
+    The returned report's ``results`` are bit-identical to what the same
+    points produce serially (see the module docstring).
+    """
+    points = dedupe_points(points)
+    policy = policy if policy is not None else active_policy()
+    jobs = min(resolve_jobs(jobs), max(1, len(points)))
+    results: "list[RunResult | None]" = [None] * len(points)
+    profiles: "list[RunProfile | None]" = [None] * len(points)
+    indexed_failures: "list[tuple[int, RunFailure]]" = []
+    start = time.perf_counter()
+
+    if jobs <= 1 or len(points) <= 1:
+        for index, point in enumerate(points):
+            seen = len(policy.failures)
+            result, profile = _execute_point(index, point, policy,
+                                             profile_dir)
+            results[index] = result
+            profiles[index] = profile
+            # Hand new failures to the report/registry; the render pass
+            # owns appending them to the policy (parity with the pool).
+            indexed_failures.extend(
+                (index, f) for f in policy.failures[seen:]
+            )
+            del policy.failures[seen:]
+    else:
+        env = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(env, policy.timeout_s, policy.max_retries, profile_dir),
+        ) as pool:
+            futures = [
+                pool.submit(_run_point, index, point)
+                for index, point in enumerate(points)
+            ]
+            # Collect in submission order: failure reporting stays
+            # deterministic no matter which worker finishes first.
+            for future in futures:
+                index, result, profile, point_failures = future.result()
+                results[index] = result
+                profiles[index] = profile
+                indexed_failures.extend((index, f) for f in point_failures)
+
+    failures = [failure for _, failure in indexed_failures]
+    if failures:
+        if not policy.keep_going:
+            raise _rebuild_error(failures[0])
+        for index, failure in indexed_failures:
+            result_cache.mark_failed(points[index].key(), failure)
+
+    return SweepReport(
+        points=points,
+        results=results,
+        profiles=profiles,
+        failures=failures,
+        wall_s=time.perf_counter() - start,
+        jobs=jobs,
+    )

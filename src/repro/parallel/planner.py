@@ -1,0 +1,42 @@
+"""Harvest the sweep points an experiment will need, without running it.
+
+Every figure function in :mod:`repro.analysis.experiments` pulls its
+runs through :func:`repro.analysis.cache.cached_run`. Planning mode
+(:func:`repro.analysis.cache.recording_points`) exploits that choke
+point: the experiment is invoked once with ``cached_run`` replaced by a
+recorder that logs each requested (app, scheme, scale) triple and
+returns a cheap placeholder. The recorded list is exactly the point set
+to fan out over the pool — no per-figure duplication of grid logic, and
+experiments that build their own scales (the halved-hierarchy study)
+are planned correctly for free.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cache import recording_points
+from repro.parallel.points import SweepPoint, dedupe_points
+
+
+def collect_points(experiment, *args, **kwargs) -> "list[SweepPoint]":
+    """The deduplicated sweep points ``experiment(*args, **kwargs)`` needs.
+
+    The experiment runs once in planning mode. Placeholder results keep
+    most figure math finite (``cycles == 1``), but derived figures that
+    divide aggregate placeholders (the energy totals of Fig. 21) may
+    still raise — by then every ``cached_run`` request has already been
+    recorded, so such errors are swallowed: the planner's output is the
+    point list, never the figure.
+    """
+    with recording_points() as recorded:
+        try:
+            experiment(*args, **kwargs)
+        except Exception:
+            pass
+    return dedupe_points(
+        SweepPoint(app, scheme, scale) for app, scheme, scale in recorded
+    )
+
+
+def pending_points(points: "list[SweepPoint]") -> "list[SweepPoint]":
+    """Filter ``points`` down to those the result cache does not hold."""
+    return [point for point in points if not point.is_cached()]

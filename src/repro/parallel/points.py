@@ -1,0 +1,59 @@
+"""Sweep points: the unit of work the parallel executor fans out.
+
+A :class:`SweepPoint` is one independent (application, scheme spec,
+run scale) simulation — exactly the argument triple of
+:func:`repro.analysis.cache.cached_run`. Every figure of the paper is a
+grid of such points, and because each point derives its random seed from
+its own ``scale.seed`` (never from scheduling order), points can run in
+any order, on any worker, and still produce bit-identical statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.cache import has_entry, point_key
+from repro.analysis.runner import RunScale
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent (app, scheme, scale) simulation."""
+
+    app: str
+    scheme: object
+    scale: RunScale
+
+    @property
+    def scheme_name(self) -> str:
+        """Display name of the scheme spec (same convention as results)."""
+        return getattr(self.scheme, "name", type(self.scheme).__name__)
+
+    def key(self) -> str:
+        """The point's stable result-cache key."""
+        return point_key(self.app, self.scheme, self.scale)
+
+    def is_cached(self) -> bool:
+        """True when the result cache already holds this point."""
+        return has_entry(self.app, self.scheme, self.scale)
+
+    def __str__(self) -> str:
+        return f"{self.app}/{self.scheme_name}"
+
+
+def dedupe_points(points: "Iterable[SweepPoint]") -> "list[SweepPoint]":
+    """Drop duplicate points (same cache key), preserving first-seen order.
+
+    Figures overlap heavily — every normalized figure needs the same 2x
+    sparse baselines — so deduplication is what keeps a multi-figure
+    sweep from simulating shared points once per figure.
+    """
+    seen: "dict[str, None]" = {}
+    unique: "list[SweepPoint]" = []
+    for point in points:
+        key = point.key()
+        if key not in seen:
+            seen[key] = None
+            unique.append(point)
+    return unique

@@ -14,12 +14,19 @@ the engine re-verifies every protocol invariant each ``audit_interval``
 accesses (and once more at end of trace), so a corruption raises an
 :class:`~repro.errors.InvariantViolation` within one audit window
 instead of silently poisoning the rest of the run.
+
+The loop also honours the harness deadline
+(:mod:`repro.sim.deadline`): every ``CHECK_STRIDE`` accesses it checks
+the armed wall-clock limit and raises
+:class:`~repro.errors.RunTimeoutError` once exceeded, which is what
+makes per-run timeouts work inside process-pool workers.
 """
 
 from __future__ import annotations
 
 import heapq
 
+from repro.sim.deadline import CHECK_STRIDE, check_deadline
 from repro.sim.stats import SimStats
 from repro.sim.system import System
 from repro.types import Access
@@ -83,6 +90,8 @@ class TraceEngine:
             if done > finish:
                 finish = done
             processed += 1
+            if processed % CHECK_STRIDE == 0:
+                check_deadline()
             if auditor is not None and processed % auditor.interval == 0:
                 auditor.audit(system)
             if warmup_left and processed == warmup_left:

@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.sim.config import SystemConfig
+from repro.sim.deadline import CHECK_STRIDE as _DEADLINE_STRIDE
+from repro.sim.deadline import check_deadline
 from repro.types import Access, AccessKind
 from repro.workloads.profiles import WorkloadProfile
 
@@ -247,6 +249,8 @@ class SyntheticTraceGenerator:
         ifetch_list = is_ifetch.tolist()
         gap_list = gaps.tolist()
         for i in range(n):
+            if i % _DEADLINE_STRIDE == 0:
+                check_deadline()
             c = core_list[i]
             if region_list[i] == _REGION_STREAM:
                 a = _STREAM_BASE + c * _STREAM_SPAN + stream_cursor[c]

@@ -1,0 +1,98 @@
+"""tools/check_docs.py: the CI docs-consistency gate.
+
+The checker must pass on the repo as committed, and must actually
+detect the two drift classes it exists for: broken intra-repo links and
+flags that drifted between ``__main__.py`` and ``docs/harness.md``.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "check_docs.py"
+
+
+@pytest.fixture
+def checker(monkeypatch, tmp_path):
+    """A check_docs module re-pointed at a scratch repo layout."""
+    spec = importlib.util.spec_from_file_location("check_docs", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    main = tmp_path / "src" / "repro" / "__main__.py"
+    main.write_text(
+        "import argparse\n"
+        "p = argparse.ArgumentParser()\n"
+        "p.add_argument('--alpha')\n"
+        "p.add_argument('--beta-two', '-b', action='store_true')\n"
+    )
+    (tmp_path / "README.md").write_text("# scratch\n")
+    monkeypatch.setattr(module, "REPO", tmp_path)
+    monkeypatch.setattr(module, "MAIN", main)
+    monkeypatch.setattr(module, "HARNESS_DOC", tmp_path / "docs" / "harness.md")
+    return module, tmp_path
+
+
+def test_real_repo_is_clean():
+    result = subprocess.run(
+        [sys.executable, str(TOOL)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
+
+
+def test_parser_flags_found_via_ast(checker):
+    module, _ = checker
+    assert module.parser_flags() == {"--alpha", "--beta-two"}
+
+
+def test_clean_scratch_repo_passes(checker):
+    module, root = checker
+    (root / "docs" / "harness.md").write_text(
+        "| `--alpha X` | sets alpha |\n| `--beta-two` | flag |\n"
+        "See [readme](../README.md).\n"
+    )
+    assert module.check_flags() == []
+    assert module.check_links() == []
+
+
+def test_broken_link_detected(checker):
+    module, root = checker
+    (root / "docs" / "harness.md").write_text(
+        "| `--alpha` | a |\n| `--beta-two` | b |\n"
+        "See [missing](no-such-file.md) and [ok](harness.md).\n"
+    )
+    problems = module.check_links()
+    assert len(problems) == 1
+    assert "no-such-file.md" in problems[0]
+
+
+def test_external_links_ignored(checker):
+    module, root = checker
+    (root / "docs" / "harness.md").write_text(
+        "| `--alpha` | a |\n| `--beta-two` | b |\n"
+        "[w](https://example.com) [m](mailto:x@y.z) [a](#anchor)\n"
+    )
+    assert module.check_links() == []
+
+
+def test_undocumented_flag_detected(checker):
+    module, root = checker
+    (root / "docs" / "harness.md").write_text("| `--alpha` | only one |\n")
+    problems = module.check_flags()
+    assert any("--beta-two" in p and "undocumented" in p for p in problems)
+
+
+def test_stale_documented_flag_detected(checker):
+    module, root = checker
+    (root / "docs" / "harness.md").write_text(
+        "| `--alpha` | a |\n| `--beta-two` | b |\n"
+        "| `--gamma` | removed long ago |\n"
+    )
+    problems = module.check_flags()
+    assert any("--gamma" in p and "no longer" in p for p in problems)

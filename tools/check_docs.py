@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (CI gate).
+
+Three checks, all cheap and dependency-free (the CLI parser is read via
+``ast``, so no simulator import is needed):
+
+1. **Intra-repo links** — every relative markdown link in README.md and
+   ``docs/*.md`` must resolve to an existing file (anchors stripped;
+   paths tried relative to the containing file, then to the repo root).
+2. **Flag coverage** — every long CLI flag defined by ``add_argument``
+   in ``src/repro/__main__.py`` must be documented in
+   ``docs/harness.md``.
+3. **Stale flags** — every flag row in docs/harness.md's CLI flag
+   table(s) (markdown table rows whose first cell starts with ``--``)
+   must still exist in the parser, so removed flags cannot linger in
+   the docs.
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+MAIN = REPO / "src" / "repro" / "__main__.py"
+HARNESS_DOC = REPO / "docs" / "harness.md"
+
+#: Markdown inline link: [text](target), ignoring images and code spans.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+)\)")
+#: First cell of a markdown table row that documents a CLI flag.
+_FLAG_ROW = re.compile(r"^\|\s*`(--[a-z][a-z0-9-]*)[` =\[]")
+
+
+def doc_files() -> "list[pathlib.Path]":
+    return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+
+def parser_flags() -> "set[str]":
+    """Long option strings of every ``add_argument`` call in __main__.py."""
+    tree = ast.parse(MAIN.read_text())
+    flags = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "add_argument"):
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if arg.value.startswith("--"):
+                    flags.add(arg.value)
+    return flags
+
+
+def check_links() -> "list[str]":
+    problems = []
+    for path in doc_files():
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                plain = target.split("#", 1)[0]
+                if not plain:
+                    continue
+                local = (path.parent / plain).resolve()
+                rooted = (REPO / plain).resolve()
+                if not local.exists() and not rooted.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO)}:{lineno}: "
+                        f"broken link -> {target}"
+                    )
+    return problems
+
+
+def check_flags() -> "list[str]":
+    problems = []
+    defined = parser_flags()
+    if not HARNESS_DOC.exists():
+        return [f"{HARNESS_DOC.relative_to(REPO)}: missing (flag check needs it)"]
+    harness_text = HARNESS_DOC.read_text()
+    for flag in sorted(defined):
+        if flag not in harness_text:
+            problems.append(
+                f"docs/harness.md: CLI flag {flag} (src/repro/__main__.py) "
+                "is undocumented"
+            )
+    documented = set()
+    for line in harness_text.splitlines():
+        match = _FLAG_ROW.match(line.strip())
+        if match:
+            documented.add(match.group(1))
+    for flag in sorted(documented - defined):
+        problems.append(
+            f"docs/harness.md: flag {flag} is documented but no longer "
+            "defined in src/repro/__main__.py"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_flags()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    flags = len(parser_flags())
+    files = len(doc_files())
+    print(f"check_docs: OK ({files} doc files, {flags} CLI flags)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
