@@ -25,6 +25,9 @@ The package layers:
   per-figure experiment harness.
 * ``repro.parallel`` — the process-based sweep executor with profiling
   hooks (``run_sweep``, ``collect_points``); see ``docs/harness.md``.
+* ``repro.verify`` — the protocol conformance subsystem: litmus tests,
+  the random-walk fuzzer with shrinking, transition coverage, and the
+  ``python -m repro verify`` entry point; see ``docs/verification.md``.
 
 The full documented public surface is re-exported here; see
 ``docs/architecture.md`` for the module map.
@@ -46,6 +49,7 @@ from repro.parallel import (
     SweepReport,
     collect_points,
     run_sweep,
+    run_tasks,
 )
 from repro.sim.config import (
     InLLCSpec,
@@ -60,6 +64,13 @@ from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 from repro.sim.system import System
 from repro.types import Access, AccessKind
+from repro.verify import (
+    CoverageMap,
+    ValueOracle,
+    fuzz_run,
+    run_litmus,
+    run_schedule,
+)
 from repro.workloads.generator import SyntheticTraceGenerator, generate_streams
 from repro.workloads.profiles import APPLICATIONS, PROFILES, WorkloadProfile, profile
 
@@ -69,6 +80,7 @@ __all__ = [
     "Access",
     "AccessKind",
     "APPLICATIONS",
+    "CoverageMap",
     "HarnessPolicy",
     "InLLCSpec",
     "MgdSpec",
@@ -87,15 +99,20 @@ __all__ = [
     "SystemConfig",
     "TinySpec",
     "TraceEngine",
+    "ValueOracle",
     "WorkloadProfile",
     "cached_run",
     "collect_points",
+    "fuzz_run",
     "generate_streams",
     "harness",
     "profile",
     "run_app",
     "run_app_guarded",
+    "run_litmus",
+    "run_schedule",
     "run_sweep",
+    "run_tasks",
     "run_trace",
     "scale_from_env",
     "__version__",

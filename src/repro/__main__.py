@@ -9,6 +9,12 @@ Usage::
     python -m repro --all --keep-going --timeout 600
     python -m repro fig10 --audit
     python -m repro fig13 --profile
+    python -m repro verify --fuzz --steps 2000 --seed 7
+
+``verify`` dispatches to the protocol conformance runner (litmus
+tests, random-walk fuzzing with shrinking, fault-detection checks,
+transition coverage); see ``docs/verification.md`` and
+``python -m repro verify --help``.
 
 Each figure is printed as a text table (the same output the benchmark
 harness produces). Results are cached under ``.repro_cache/``.
@@ -176,6 +182,11 @@ def _prewarm(names, scale, args, policy, jobs: int) -> None:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for name, (fn, extra) in FIGURES.items():

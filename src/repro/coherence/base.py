@@ -20,12 +20,28 @@ from repro.cache.llc import LLCBank, LLCLine
 from repro.cache.private_cache import PrivateCore
 from repro.coherence.info import CohInfo
 from repro.coherence.transaction import AccessOutcome
+from repro.errors import InvariantViolation
 from repro.interconnect.mesh import Mesh2D
 from repro.interconnect.traffic import MessageClass, TrafficMeter
 from repro.memory.dram import DramModel
 from repro.resilience.recorder import NullRecorder
 from repro.sim.config import SystemConfig
 from repro.types import AccessKind, LLCState, PrivateState
+
+
+class NullCoverage:
+    """Disabled transition-coverage sink (the default).
+
+    The verify subsystem (:mod:`repro.verify.coverage`) swaps in a real
+    collector; everywhere else the ``coverage.enabled`` guard keeps the
+    hooks free. Defined here rather than in ``repro.verify`` so the
+    coherence layer never imports upward.
+    """
+
+    enabled = False
+
+    def note(self, transition: str) -> None:  # pragma: no cover - never called
+        pass
 
 
 class BaseHome:
@@ -48,6 +64,9 @@ class BaseHome:
         #: Transaction flight recorder; a no-op unless online auditing is
         #: enabled (the auditor swaps in a real FlightRecorder).
         self.recorder = NullRecorder()
+        #: Transition-coverage sink; a no-op unless a conformance run
+        #: installs a real CoverageMap (see repro.verify.coverage).
+        self.coverage = NullCoverage()
         self.num_banks = config.num_banks
         self.banks = [
             LLCBank(
@@ -152,6 +171,19 @@ class BaseHome:
             if self.recorder.enabled:
                 self.recorder.record(addr, "invalidate", core=holder)
             prior = self.cores[holder].invalidate(addr)
+            if prior is PrivateState.INVALID:
+                # A recorded holder without a copy: the tracking entry is
+                # stale (lost notice, dropped copy, phantom sharer). Flag
+                # it at the access that trips over it instead of silently
+                # cleansing the record.
+                raise InvariantViolation(
+                    f"invalidation sent to core {holder} for block "
+                    f"{addr:#x} it does not hold (stale tracking entry)",
+                    addr=addr,
+                    cores=(holder,),
+                )
+            if self.coverage.enabled:
+                self.coverage.note(f"inval:{prior.value}->I")
             self.traffic.control(MessageClass.COHERENCE)  # invalidation
             if prior is PrivateState.MODIFIED:
                 had_dirty = True

@@ -51,6 +51,8 @@ class InLLCHome(BaseHome):
 
     def _mark_tracked(self, line: LLCLine, bank) -> None:
         """Move a valid line into the corrupted (tracking) state."""
+        if self.coverage.enabled:
+            self.coverage.note("llc:mark_tracked")
         if self.tag_extended:
             return
         line.underlying_dirty = line.underlying_dirty or line.state is LLCState.DIRTY
@@ -59,6 +61,8 @@ class InLLCHome(BaseHome):
 
     def _restore_line(self, line: LLCLine, bank) -> None:
         """Return a line to the unowned valid state (last copy gone)."""
+        if self.coverage.enabled:
+            self.coverage.note("llc:restore")
         line.coh = None
         line.stra = None
         if self.tag_extended:
@@ -77,8 +81,12 @@ class InLLCHome(BaseHome):
     def _handle_llc_victim(self, victim: LLCLine, now: int) -> None:
         self._flush_residency(victim)
         if victim.coh is not None and not victim.coh.is_idle:
+            if self.coverage.enabled:
+                self.coverage.note("llc:evict_tracked")
             self._evict_tracked_victim(victim, now)
         elif victim.state is LLCState.DIRTY or victim.underlying_dirty:
+            if self.coverage.enabled:
+                self.coverage.note("llc:evict_dirty")
             self._dram_write(victim.tag, now)
 
     def _evict_tracked_victim(self, victim: LLCLine, now: int) -> None:
@@ -251,6 +259,8 @@ class InLLCHome(BaseHome):
                 out.latency = self._two_hop(core, home)
                 self.traffic.data(MessageClass.PROCESSOR)
             else:
+                if self.coverage.enabled:
+                    self.coverage.note("llc:lengthened_read")
                 forwarder = self._closest_sharer(coh, home)
                 out.hops = 3
                 out.lengthened = True
@@ -453,6 +463,8 @@ class TinyHome(InLLCHome):
                 self._record_stra(line, shared_read=False)
                 self._serve_upgrade(core, addr, line, bank, home, now, out)
         elif entry is not None:
+            if self.coverage.enabled:
+                self.coverage.note("tiny:hit")
             shared_read = self._serve_via_tracker(
                 core, addr, kind, entry.coh, entry.stra, line, bank, home, now, out,
                 via_spill=False,
@@ -460,6 +472,8 @@ class TinyHome(InLLCHome):
             if entry.coh.is_idle:
                 self.tiny.remove(addr)
         elif spill is not None:
+            if self.coverage.enabled:
+                self.coverage.note("tiny:spill_hit")
             shared_read = self._serve_via_tracker(
                 core, addr, kind, spill.coh, spill.stra, line, bank, home, now, out,
                 via_spill=True,
@@ -593,6 +607,8 @@ class TinyHome(InLLCHome):
             else:
                 # Tracked in the tiny directory but the LLC data line was
                 # evicted: forward to a sharer and refill.
+                if self.coverage.enabled:
+                    self.coverage.note("tiny:fwd_refill")
                 forwarder = self._closest_sharer(coh, home)
                 out.hops = 3
                 out.latency = self._three_hop(core, home, forwarder)
@@ -630,6 +646,8 @@ class TinyHome(InLLCHome):
     def _unspill_into_line(self, spill, line, bank) -> None:
         """Invalidate a spilled entry, moving its info into the data block
         (which becomes corrupted exclusive)."""
+        if self.coverage.enabled:
+            self.coverage.note("tiny:unspill")
         coh, stra = spill.coh, spill.stra
         bank.remove(spill)
         if line is None:
@@ -650,10 +668,16 @@ class TinyHome(InLLCHome):
         category = stra.category()
         entry, victim = self.tiny.try_allocate(addr, category, coh, stra, now)
         if entry is not None:
+            if self.coverage.enabled:
+                self.coverage.note("tiny:alloc")
             if victim is not None:
+                if self.coverage.enabled:
+                    self.coverage.note("tiny:evict")
                 self._rehome_victim(victim, now)
             self._detach_tracking(line, bank)
             return
+        if self.coverage.enabled:
+            self.coverage.note("tiny:decline")
         if not self.spill_enabled:
             return
         if not self.spill_policies[home].allows(category):
@@ -668,6 +692,8 @@ class TinyHome(InLLCHome):
                 self._handle_llc_victim(svictim, now)
                 return
             self._handle_llc_victim(svictim, now)
+        if self.coverage.enabled:
+            self.coverage.note("tiny:spill")
         self.stats.spills += 1
         self._detach_tracking(line, bank)
 
@@ -714,9 +740,13 @@ class TinyHome(InLLCHome):
                         return
                     if svictim is not None:
                         self._handle_llc_victim(svictim, now)
+                    if self.coverage.enabled:
+                        self.coverage.note("tiny:rehome_spill")
                     self.stats.spills += 1
                     return
         # Corrupt the victim's data line with the transferred state.
+        if self.coverage.enabled:
+            self.coverage.note("tiny:rehome_corrupt")
         vline.coh = coh
         vline.stra = stra
         self._mark_tracked(vline, bank)
@@ -724,6 +754,8 @@ class TinyHome(InLLCHome):
     def _back_invalidate_untracked(self, addr, coh, now) -> None:
         if self.recorder.enabled:
             self.recorder.record(addr, "back_invalidate", detail=f"holders={coh.holders()}")
+        if self.coverage.enabled:
+            self.coverage.note("llc:back_invalidate")
         had_dirty = False
         for holder in coh.holders():
             prior = self.cores[holder].invalidate(addr)
@@ -749,6 +781,8 @@ class TinyHome(InLLCHome):
             # Transfer the tracking back into the companion data block.
             b_line, _ = bank.lookup(victim.tag, touch=False)
             if b_line is not None and b_line.coh is None:
+                if self.coverage.enabled:
+                    self.coverage.note("tiny:recall")
                 b_line.coh = victim.coh
                 b_line.stra = victim.stra
                 self._mark_tracked(b_line, bank)

@@ -44,12 +44,18 @@ class SparseHome(BaseHome):
 
     def _install(self, addr: int, coh: CohInfo, now: int) -> None:
         """Start tracking ``addr``; back-invalidates any directory victim."""
+        if self.coverage.enabled:
+            self.coverage.note("dir:alloc")
         victim = self.directory.allocate(addr, coh)
         if victim is not None:
+            if self.coverage.enabled:
+                self.coverage.note("dir:evict")
             self._back_invalidate(*victim, now)
 
     def _drop(self, addr: int, coh: CohInfo) -> None:
         """Stop tracking ``addr`` (no private copies remain)."""
+        if self.coverage.enabled:
+            self.coverage.note("dir:drop")
         self.directory.remove(addr)
 
     def _after_update(self, addr: int, coh: CohInfo, now: int) -> None:
@@ -61,6 +67,8 @@ class SparseHome(BaseHome):
         """Invalidate every private copy of an evicted tracking entry."""
         if self.recorder.enabled:
             self.recorder.record(addr, "back_invalidate", detail=f"holders={coh.holders()}")
+        if self.coverage.enabled:
+            self.coverage.note("dir:back_invalidate")
         self.stats.back_invalidations += len(coh.holders())
         self._invalidate_holders(addr, coh, now)
 
@@ -167,6 +175,8 @@ class SparseHome(BaseHome):
             )
         out.hops = 3
         out.latency = self._three_hop(core, home, owner)
+        if self.coverage.enabled:
+            self.coverage.note("dir:fwd_exclusive")
         self.traffic.control(MessageClass.COHERENCE)  # forwarded request
         self.traffic.data(MessageClass.PROCESSOR)  # owner -> requester data
         self.traffic.control(MessageClass.COHERENCE)  # busy-clear to home
@@ -195,6 +205,8 @@ class SparseHome(BaseHome):
             LLCState.DIRTY,
         )
         if kind is AccessKind.WRITE:
+            if self.coverage.enabled:
+                self.coverage.note("dir:write_shared")
             holders = coh.sharer_list()
             inval_path = self._invalidation_latency(home, holders, core)
             if line_valid:
@@ -236,6 +248,8 @@ class SparseHome(BaseHome):
 
     def _serve_upgrade(self, core, addr, coh, home, now, out) -> None:
         out.is_upgrade = True
+        if self.coverage.enabled:
+            self.coverage.note("dir:upgrade")
         if coh is None or not coh.holds(core):
             raise ProtocolError(
                 f"core {core} upgrades block {addr:#x} the tracker does not "
@@ -368,6 +382,8 @@ class SharedOnlyHome(SparseHome):
         if coh.sharer_count() >= 2:
             super()._install(addr, coh, now)
         else:
+            if self.coverage.enabled:
+                self.coverage.note("shared_only:private")
             self._unbounded[addr] = coh
 
     def _drop(self, addr, coh):
@@ -381,11 +397,15 @@ class SharedOnlyHome(SparseHome):
         if addr in self._unbounded:
             if coh.sharer_count() >= 2:
                 del self._unbounded[addr]
+                if self.coverage.enabled:
+                    self.coverage.note("shared_only:promote")
                 super()._install(addr, coh, now)
         else:
             if coh.is_exclusive:
                 # The limited directory only holds shared blocks.
                 if self.directory.remove(addr) is not None:
+                    if self.coverage.enabled:
+                        self.coverage.note("shared_only:demote")
                     self._unbounded[addr] = coh
 
     def _tracks(self, addr, core):
@@ -422,12 +442,18 @@ class StashHome(SparseHome):
         self.stash = StashState()
 
     def _install(self, addr, coh, now):
+        if self.coverage.enabled:
+            self.coverage.note("dir:alloc")
         victim = self.directory.allocate(addr, coh)
         if victim is None:
             return
+        if self.coverage.enabled:
+            self.coverage.note("dir:evict")
         vaddr, vcoh = victim
         if vcoh.is_exclusive:
             # Leave the private copy in place, untracked.
+            if self.coverage.enabled:
+                self.coverage.note("stash:stash")
             self.stash.stash(vaddr, vcoh.owner)
         else:
             self._back_invalidate(vaddr, vcoh, now)
@@ -442,6 +468,8 @@ class StashHome(SparseHome):
         # Broadcast recovery: query every core, collect responses.
         if self.recorder.enabled:
             self.recorder.record(addr, "stash_recover", core=holder)
+        if self.coverage.enabled:
+            self.coverage.note("stash:recover")
         self.stash.unstash(addr)
         self.stats.broadcasts += 1
         num_cores = self.config.num_cores
@@ -462,6 +490,8 @@ class StashHome(SparseHome):
 
     def handle_private_eviction(self, core, addr, state, now):
         if self.stash.owner_of(addr) == core:
+            if self.coverage.enabled:
+                self.coverage.note("stash:unstash")
             self.stash.unstash(addr)
         super().handle_private_eviction(core, addr, state, now)
 
@@ -511,6 +541,8 @@ class MgdHome(SparseHome):
     def _demote_region(self, addr, region_entry, now, out) -> None:
         if self.recorder.enabled:
             self.recorder.record(addr, "region_demote", core=region_entry.owner)
+        if self.coverage.enabled:
+            self.coverage.note("mgd:region_demote")
         region = self.directory.region_of(addr)
         self.directory.remove_region(region)
         owner = region_entry.owner
@@ -529,18 +561,26 @@ class MgdHome(SparseHome):
             region = self.directory.region_of(addr)
             offset = addr % BLOCKS_PER_REGION
             if self._region_hit is not None and self._region_hit.owner == coh.owner:
+                if self.coverage.enabled:
+                    self.coverage.note("mgd:region_extend")
                 self._region_hit.presence |= 1 << offset
                 return
             entry = self.directory.lookup_region(addr)
             if entry is not None and entry.owner == coh.owner:
+                if self.coverage.enabled:
+                    self.coverage.note("mgd:region_extend")
                 entry.presence |= 1 << offset
                 return
             if entry is None:
+                if self.coverage.enabled:
+                    self.coverage.note("mgd:region_alloc")
                 victim = self.directory.allocate_region(
                     region, RegionEntry(coh.owner, 1 << offset)
                 )
                 self._handle_mgd_victim(victim, now)
                 return
+        if self.coverage.enabled:
+            self.coverage.note("mgd:block_alloc")
         victim = self.directory.allocate_block(addr, coh)
         self._handle_mgd_victim(victim, now)
 
@@ -551,6 +591,8 @@ class MgdHome(SparseHome):
         if kind == "block":
             self._back_invalidate(key, payload, now)
         else:
+            if self.coverage.enabled:
+                self.coverage.note("mgd:evict_region")
             owner = payload.owner
             for baddr in payload.blocks(key):
                 state = self.cores[owner].invalidate(baddr)
@@ -588,6 +630,8 @@ class MgdHome(SparseHome):
             return
         region_entry = self.directory.lookup_region(addr)
         if region_entry is not None and region_entry.owner == core:
+            if self.coverage.enabled:
+                self.coverage.note("mgd:region_shrink")
             region_entry.presence &= ~(1 << (addr % BLOCKS_PER_REGION))
             if region_entry.presence == 0:
                 self.directory.remove_region(self.directory.region_of(addr))

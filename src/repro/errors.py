@@ -59,6 +59,18 @@ class InvariantViolation(ProtocolError):
         return " | ".join(parts)
 
 
+class OracleViolation(InvariantViolation):
+    """The sequentially-consistent reference memory oracle disagreed.
+
+    Raised by :class:`~repro.verify.oracle.ValueOracle` when a load
+    observes a value version older than the address's last writer, or
+    when a completed store leaves another core holding a copy. Unlike
+    the structural invariant checks this validates the *data* the
+    protocol delivers, so it catches lost invalidations at the exact
+    access that reads the stale copy.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A :class:`~repro.resilience.faults.FaultPlan` could not be applied
     (e.g. the targeted address is not currently tracked anywhere)."""

@@ -19,7 +19,7 @@ The CLI (``python -m repro --jobs N``) and the benchmark drivers use
 exactly this plan/execute/render split. See ``docs/harness.md``.
 """
 
-from repro.parallel.executor import SweepReport, resolve_jobs, run_sweep
+from repro.parallel.executor import SweepReport, resolve_jobs, run_sweep, run_tasks
 from repro.parallel.planner import collect_points, pending_points
 from repro.parallel.points import SweepPoint, dedupe_points
 from repro.parallel.profiling import (
@@ -42,5 +42,6 @@ __all__ = [
     "render_profiles_table",
     "resolve_jobs",
     "run_sweep",
+    "run_tasks",
     "summarize",
 ]

@@ -63,6 +63,23 @@ def resolve_jobs(jobs: "int | None" = None) -> int:
     return max(1, jobs)
 
 
+def run_tasks(fn, payloads: "list", jobs: "int | None" = None) -> "list":
+    """Order-preserving process-pool map for independent tasks.
+
+    A generic sibling of :func:`run_sweep` for work that is not a
+    (app, scheme, scale) sweep point — e.g. the conformance fuzzer's
+    seeded runs. ``fn`` must be a top-level (picklable-by-reference)
+    callable; ``payloads`` and results must pickle. ``jobs <= 1`` (or a
+    single payload) runs inline with identical semantics; the result
+    list is aligned with ``payloads`` regardless of completion order.
+    """
+    jobs = min(resolve_jobs(jobs), max(1, len(payloads)))
+    if jobs <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, payloads))
+
+
 @dataclass
 class SweepReport:
     """Everything one :func:`run_sweep` call produced."""

@@ -158,6 +158,16 @@ class FaultInjector:
         while self._pending:
             self._apply(system, self._pending.pop(0))
 
+    def apply_now(self, system, fault: Fault) -> None:
+        """Apply one fault immediately, outside the plan's schedule.
+
+        This is how the verify harness fires fault *pseudo-steps*
+        embedded in a schedule: the fault's ``after_access`` is ignored
+        and it goes through the same application (and, for
+        LOSE_EVICTION_NOTICE, arming) path as planned faults.
+        """
+        self._apply(system, fault)
+
     def intercept_eviction(self, core: int, addr: int) -> bool:
         """True when an armed fault swallows this eviction notice."""
         for index, fault in enumerate(self._armed_notices):

@@ -13,7 +13,11 @@ When a :class:`~repro.resilience.auditor.ProtocolAuditor` is supplied,
 the engine re-verifies every protocol invariant each ``audit_interval``
 accesses (and once more at end of trace), so a corruption raises an
 :class:`~repro.errors.InvariantViolation` within one audit window
-instead of silently poisoning the rest of the run.
+instead of silently poisoning the rest of the run. A
+:class:`~repro.verify.oracle.ValueOracle` can likewise be threaded
+through: each access is bracketed by a quiet pre-state probe and a
+post-access value check, validating every observed load against the
+sequentially-consistent reference memory.
 
 The loop also honours the harness deadline
 (:mod:`repro.sim.deadline`): every ``CHECK_STRIDE`` accesses it checks
@@ -49,6 +53,7 @@ class TraceEngine:
         streams: "list[list[Access]]",
         warmup_fraction: float = 0.4,
         auditor=None,
+        oracle=None,
     ) -> None:
         if len(streams) > system.config.num_cores:
             raise ValueError(
@@ -60,11 +65,13 @@ class TraceEngine:
         self.streams = streams
         self.warmup_fraction = warmup_fraction
         self.auditor = auditor
+        self.oracle = oracle
 
     def run(self) -> SimStats:
         """Run every stream to completion; returns finalized stats."""
         system = self.system
         auditor = self.auditor
+        oracle = self.oracle
         if auditor is not None:
             auditor.install(system)
         total = sum(len(stream) for stream in self.streams)
@@ -85,7 +92,14 @@ class TraceEngine:
             clock, core, index = heapq.heappop(heap)
             acc = self.streams[core][index]
             issue_time = clock + acc.gap
+            pre_state = (
+                oracle.pre_state(system, acc.core, acc.addr)
+                if oracle is not None
+                else None
+            )
             latency = system.access(acc, issue_time)
+            if oracle is not None:
+                oracle.observe(system, acc.core, acc.addr, acc.kind, pre_state)
             done = issue_time + latency
             if done > finish:
                 finish = done
@@ -113,6 +127,9 @@ def run_trace(
     streams: "list[list[Access]]",
     warmup_fraction: float = 0.4,
     auditor=None,
+    oracle=None,
 ) -> SimStats:
     """Convenience wrapper: run ``streams`` on ``system`` and return stats."""
-    return TraceEngine(system, streams, warmup_fraction, auditor=auditor).run()
+    return TraceEngine(
+        system, streams, warmup_fraction, auditor=auditor, oracle=oracle
+    ).run()

@@ -1,0 +1,87 @@
+"""Sequentially-consistent reference memory oracle.
+
+The simulator is functionally synchronous — one transaction completes
+before the next starts — so the reference memory model is plain
+sequential consistency: a load must observe the value of the most
+recent store to its address, and a completed store must leave the
+writer as the only core with a valid private copy.
+
+The oracle models values as per-address *last-writer tokens* (a
+monotone sequence number) plus a per-``(core, addr)`` record of which
+token the core's cached copy carries:
+
+* a **store** advances the address's token, stamps the writer's copy,
+  and asserts no other core still holds the block (the write-serialized
+  single-writer property, checked at the exact access);
+* a **load or ifetch** that hit a pre-existing private copy must find
+  that copy stamped with the address's current token — a mismatch means
+  an invalidation was lost and the core read a stale value;
+* a **load miss** stamps the freshly filled copy with the current
+  token (the home node supplies up-to-date data by construction; a
+  holder whose copy was left stale is caught at *its* next read).
+
+All probes use quiet lookups (``state_of`` / ``holds``), so an
+oracle-monitored run produces bit-identical statistics to an
+unmonitored one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OracleViolation
+from repro.types import AccessKind, PrivateState
+
+
+class ValueOracle:
+    """Differential value checker threaded through the access stream."""
+
+    def __init__(self) -> None:
+        #: addr -> token of the last completed store.
+        self.token: "dict[int, int]" = {}
+        #: (core, addr) -> token the core's private copy carries.
+        self.copy: "dict[tuple[int, int], int]" = {}
+        self._seq = 0
+        self.loads_checked = 0
+        self.stores_checked = 0
+
+    def pre_state(self, system, core: int, addr: int) -> PrivateState:
+        """Quiet MESI state of ``addr`` at ``core`` (capture before access)."""
+        return system.cores[core].state_of(addr)
+
+    def observe(
+        self,
+        system,
+        core: int,
+        addr: int,
+        kind: AccessKind,
+        pre_state: PrivateState,
+    ) -> None:
+        """Validate one completed access against the reference model."""
+        if kind is AccessKind.WRITE:
+            self._seq += 1
+            self.token[addr] = self._seq
+            self.copy[(core, addr)] = self._seq
+            self.stores_checked += 1
+            for other in system.cores:
+                if other.core_id != core and other.holds(addr):
+                    raise OracleViolation(
+                        f"store by core {core} to {addr:#x} completed while "
+                        f"core {other.core_id} still holds a copy",
+                        addr=addr,
+                        cores=(core, other.core_id),
+                    )
+            return
+        current = self.token.get(addr, 0)
+        if pre_state is not PrivateState.INVALID:
+            observed = self.copy.get((core, addr), current)
+            self.loads_checked += 1
+            if observed != current:
+                raise OracleViolation(
+                    f"core {core} read version {observed} of {addr:#x} but "
+                    f"the last writer produced version {current} (stale "
+                    f"copy; an invalidation was lost)",
+                    addr=addr,
+                    cores=(core,),
+                )
+        else:
+            # Miss fill: the home delivers the authoritative data.
+            self.copy[(core, addr)] = current

@@ -1,0 +1,118 @@
+"""Schedule steps: the unit the litmus engine, fuzzer, and shrinker share.
+
+A *schedule* is a flat list of steps. Most steps are accesses; a
+:class:`FaultStep` embeds a :class:`~repro.resilience.faults.Fault`
+application directly into the schedule as a pseudo-step. Embedding
+faults as steps (instead of anchoring them to a global access count)
+is what lets delta-debugging shrink a failing schedule *and* the fault
+position together: removing access steps never shifts the fault
+relative to the accesses that remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.resilience.faults import Fault, FaultKind, FaultPlan
+from repro.types import AccessKind
+
+
+@dataclass(frozen=True)
+class AccessStep:
+    """One memory access in a schedule."""
+
+    core: int
+    addr: int
+    kind: str  # "read" | "write" | "ifetch"
+
+    def access_kind(self) -> AccessKind:
+        return AccessKind(self.kind)
+
+
+@dataclass(frozen=True)
+class FaultStep:
+    """Apply one fault at this point in the schedule.
+
+    ``addr``/``core`` may be None (the injector resolves a live target
+    with its seeded RNG); minimized reproducers pin them to the
+    concrete target the failing run resolved, so replays are stable
+    under further shrinking.
+    """
+
+    kind: str
+    addr: "int | None" = None
+    core: "int | None" = None
+
+    def to_fault(self) -> Fault:
+        return Fault(FaultKind(self.kind), after_access=0, addr=self.addr, core=self.core)
+
+
+#: Any schedule step.
+Step = object
+
+
+def R(core: int, addr: int) -> AccessStep:
+    return AccessStep(core, addr, "read")
+
+
+def W(core: int, addr: int) -> AccessStep:
+    return AccessStep(core, addr, "write")
+
+
+def F(core: int, addr: int) -> AccessStep:
+    return AccessStep(core, addr, "ifetch")
+
+
+def merge_plan(steps: "list[Step]", plan: FaultPlan) -> "list[Step]":
+    """Embed a :class:`FaultPlan`'s faults into an access schedule.
+
+    Each fault becomes a :class:`FaultStep` inserted after the
+    ``after_access``-th access step (clamped to the schedule length),
+    preserving the plan's firing semantics in step form.
+    """
+    inserts: "dict[int, list[FaultStep]]" = {}
+    for fault in plan.faults:
+        at = min(max(0, fault.after_access), len(steps))
+        inserts.setdefault(at, []).append(
+            FaultStep(fault.kind.value, fault.addr, fault.core)
+        )
+    merged: "list[Step]" = []
+    for index, step in enumerate(steps):
+        merged.extend(inserts.get(index, ()))
+        merged.append(step)
+    merged.extend(inserts.get(len(steps), ()))
+    return merged
+
+
+def step_to_dict(step: Step) -> dict:
+    if isinstance(step, AccessStep):
+        return {"type": "access", "core": step.core, "addr": step.addr,
+                "kind": step.kind}
+    if isinstance(step, FaultStep):
+        return {"type": "fault", "kind": step.kind, "addr": step.addr,
+                "core": step.core}
+    raise TraceError(f"unknown schedule step {step!r}")
+
+
+def step_from_dict(payload: dict) -> Step:
+    kind = payload.get("type")
+    if kind == "access":
+        access = payload.get("kind")
+        if access not in ("read", "write", "ifetch"):
+            raise TraceError(f"unknown access kind {access!r} in step")
+        return AccessStep(int(payload["core"]), int(payload["addr"]), access)
+    if kind == "fault":
+        name = payload.get("kind")
+        try:
+            FaultKind(name)
+        except ValueError:
+            raise TraceError(f"unknown fault kind {name!r} in step") from None
+        addr = payload.get("addr")
+        core = payload.get("core")
+        return FaultStep(
+            name,
+            None if addr is None else int(addr),
+            None if core is None else int(core),
+        )
+    raise TraceError(f"unknown step type {kind!r}")

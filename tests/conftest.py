@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -9,6 +10,39 @@ import pytest
 from repro.sim.config import SystemConfig
 from repro.sim.system import System
 from repro.types import Access, AccessKind
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    # ``ci``: derandomized with a generous fixed deadline, so property
+    # tests are reproducible across runners and never flake on shared
+    # hardware. ``dev`` (the default): stock settings, fresh random
+    # examples every run. Select with HYPOTHESIS_PROFILE=ci|dev.
+    hypothesis_settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=2000,
+        suppress_health_check=(HealthCheck.too_slow,),
+    )
+    hypothesis_settings.register_profile("dev")
+    hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is optional locally
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-snapshots",
+        action="store_true",
+        default=False,
+        help="rewrite golden statistics snapshots instead of asserting "
+        "against them (see tests/test_snapshots.py)",
+    )
+
+
+@pytest.fixture
+def update_snapshots(request):
+    return request.config.getoption("--update-snapshots")
 
 
 def tiny_config(scheme, num_cores: int = 4, **overrides) -> SystemConfig:

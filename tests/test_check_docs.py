@@ -2,7 +2,8 @@
 
 The checker must pass on the repo as committed, and must actually
 detect the two drift classes it exists for: broken intra-repo links and
-flags that drifted between ``__main__.py`` and ``docs/harness.md``.
+flags that drifted between a parser module and its paired doc (the
+pairs in ``FLAG_PAIRS``: the harness CLI and the verify CLI).
 """
 
 import importlib.util
@@ -14,6 +15,8 @@ import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 TOOL = REPO / "tools" / "check_docs.py"
+
+PAIR = ("src/repro/__main__.py", "docs/harness.md")
 
 
 @pytest.fixture
@@ -33,8 +36,7 @@ def checker(monkeypatch, tmp_path):
     )
     (tmp_path / "README.md").write_text("# scratch\n")
     monkeypatch.setattr(module, "REPO", tmp_path)
-    monkeypatch.setattr(module, "MAIN", main)
-    monkeypatch.setattr(module, "HARNESS_DOC", tmp_path / "docs" / "harness.md")
+    monkeypatch.setattr(module, "FLAG_PAIRS", [PAIR])
     return module, tmp_path
 
 
@@ -46,9 +48,18 @@ def test_real_repo_is_clean():
     assert "OK" in result.stdout
 
 
+def test_real_repo_tracks_both_cli_pairs():
+    spec = importlib.util.spec_from_file_location("check_docs", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert PAIR in module.FLAG_PAIRS
+    assert ("src/repro/verify/cli.py", "docs/verification.md") in module.FLAG_PAIRS
+
+
 def test_parser_flags_found_via_ast(checker):
-    module, _ = checker
-    assert module.parser_flags() == {"--alpha", "--beta-two"}
+    module, root = checker
+    main = root / "src" / "repro" / "__main__.py"
+    assert module.parser_flags(main) == {"--alpha", "--beta-two"}
 
 
 def test_clean_scratch_repo_passes(checker):
@@ -57,7 +68,7 @@ def test_clean_scratch_repo_passes(checker):
         "| `--alpha X` | sets alpha |\n| `--beta-two` | flag |\n"
         "See [readme](../README.md).\n"
     )
-    assert module.check_flags() == []
+    assert module.check_flags(*PAIR) == []
     assert module.check_links() == []
 
 
@@ -84,7 +95,7 @@ def test_external_links_ignored(checker):
 def test_undocumented_flag_detected(checker):
     module, root = checker
     (root / "docs" / "harness.md").write_text("| `--alpha` | only one |\n")
-    problems = module.check_flags()
+    problems = module.check_flags(*PAIR)
     assert any("--beta-two" in p and "undocumented" in p for p in problems)
 
 
@@ -94,5 +105,11 @@ def test_stale_documented_flag_detected(checker):
         "| `--alpha` | a |\n| `--beta-two` | b |\n"
         "| `--gamma` | removed long ago |\n"
     )
-    problems = module.check_flags()
+    problems = module.check_flags(*PAIR)
     assert any("--gamma" in p and "no longer" in p for p in problems)
+
+
+def test_missing_doc_reported(checker):
+    module, _ = checker
+    problems = module.check_flags(*PAIR)
+    assert any("docs/harness.md" in p and "missing" in p for p in problems)

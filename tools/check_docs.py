@@ -1,19 +1,18 @@
 #!/usr/bin/env python3
 """Documentation consistency checker (CI gate).
 
-Three checks, all cheap and dependency-free (the CLI parser is read via
+Three checks, all cheap and dependency-free (CLI parsers are read via
 ``ast``, so no simulator import is needed):
 
 1. **Intra-repo links** — every relative markdown link in README.md and
    ``docs/*.md`` must resolve to an existing file (anchors stripped;
    paths tried relative to the containing file, then to the repo root).
 2. **Flag coverage** — every long CLI flag defined by ``add_argument``
-   in ``src/repro/__main__.py`` must be documented in
-   ``docs/harness.md``.
-3. **Stale flags** — every flag row in docs/harness.md's CLI flag
-   table(s) (markdown table rows whose first cell starts with ``--``)
-   must still exist in the parser, so removed flags cannot linger in
-   the docs.
+   in a tracked parser module must be documented in its paired doc
+   (see ``FLAG_PAIRS``).
+3. **Stale flags** — every flag row in a paired doc's CLI flag table(s)
+   (markdown table rows whose first cell starts with ``--``) must still
+   exist in its parser, so removed flags cannot linger in the docs.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.
 """
@@ -26,8 +25,12 @@ import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-MAIN = REPO / "src" / "repro" / "__main__.py"
-HARNESS_DOC = REPO / "docs" / "harness.md"
+
+#: (parser module, documenting markdown file) pairs kept in lockstep.
+FLAG_PAIRS = [
+    ("src/repro/__main__.py", "docs/harness.md"),
+    ("src/repro/verify/cli.py", "docs/verification.md"),
+]
 
 #: Markdown inline link: [text](target), ignoring images and code spans.
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+)\)")
@@ -39,9 +42,9 @@ def doc_files() -> "list[pathlib.Path]":
     return [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
 
 
-def parser_flags() -> "set[str]":
-    """Long option strings of every ``add_argument`` call in __main__.py."""
-    tree = ast.parse(MAIN.read_text())
+def parser_flags(module: pathlib.Path) -> "set[str]":
+    """Long option strings of every ``add_argument`` call in ``module``."""
+    tree = ast.parse(module.read_text())
     flags = set()
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -77,39 +80,44 @@ def check_links() -> "list[str]":
     return problems
 
 
-def check_flags() -> "list[str]":
+def check_flags(module_rel: str, doc_rel: str) -> "list[str]":
+    module = REPO / module_rel
+    doc = REPO / doc_rel
+    if not module.exists():
+        return [f"{module_rel}: missing (flag check needs it)"]
+    if not doc.exists():
+        return [f"{doc_rel}: missing (flag check needs it)"]
     problems = []
-    defined = parser_flags()
-    if not HARNESS_DOC.exists():
-        return [f"{HARNESS_DOC.relative_to(REPO)}: missing (flag check needs it)"]
-    harness_text = HARNESS_DOC.read_text()
+    defined = parser_flags(module)
+    doc_text = doc.read_text()
     for flag in sorted(defined):
-        if flag not in harness_text:
+        if flag not in doc_text:
             problems.append(
-                f"docs/harness.md: CLI flag {flag} (src/repro/__main__.py) "
-                "is undocumented"
+                f"{doc_rel}: CLI flag {flag} ({module_rel}) is undocumented"
             )
     documented = set()
-    for line in harness_text.splitlines():
+    for line in doc_text.splitlines():
         match = _FLAG_ROW.match(line.strip())
         if match:
             documented.add(match.group(1))
     for flag in sorted(documented - defined):
         problems.append(
-            f"docs/harness.md: flag {flag} is documented but no longer "
-            "defined in src/repro/__main__.py"
+            f"{doc_rel}: flag {flag} is documented but no longer "
+            f"defined in {module_rel}"
         )
     return problems
 
 
 def main() -> int:
-    problems = check_links() + check_flags()
+    problems = check_links()
+    for module_rel, doc_rel in FLAG_PAIRS:
+        problems += check_flags(module_rel, doc_rel)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    flags = len(parser_flags())
+    flags = sum(len(parser_flags(REPO / mod)) for mod, _ in FLAG_PAIRS)
     files = len(doc_files())
     print(f"check_docs: OK ({files} doc files, {flags} CLI flags)")
     return 0
