@@ -23,8 +23,12 @@ The package layers:
   applications.
 * ``repro.energy`` / ``repro.analysis`` — the energy model and the
   per-figure experiment harness.
-* ``repro.parallel`` — the process-based sweep executor with profiling
-  hooks (``run_sweep``, ``collect_points``); see ``docs/harness.md``.
+* ``repro.parallel`` — the supervised process-based sweep executor with
+  profiling hooks, crash recovery, and resumable checkpoints
+  (``run_sweep``, ``collect_points``); see ``docs/harness.md``.
+* ``repro.recovery`` — self-healing coherence: bounded
+  detect/diagnose/repair/re-verify cycles driven by the protocol
+  auditor (``RecoveryManager``); see ``docs/resilience.md``.
 * ``repro.verify`` — the protocol conformance subsystem: litmus tests,
   the random-walk fuzzer with shrinking, transition coverage, and the
   ``python -m repro verify`` entry point; see ``docs/verification.md``.
@@ -45,12 +49,15 @@ from repro.analysis.runner import (
 )
 from repro.parallel import (
     RunProfile,
+    SupervisorPolicy,
+    SweepJournal,
     SweepPoint,
     SweepReport,
     collect_points,
     run_sweep,
     run_tasks,
 )
+from repro.recovery import RecoveryManager, RecoveryPolicy, recovery_from_env
 from repro.sim.config import (
     InLLCSpec,
     MgdSpec,
@@ -85,6 +92,8 @@ __all__ = [
     "InLLCSpec",
     "MgdSpec",
     "PROFILES",
+    "RecoveryManager",
+    "RecoveryPolicy",
     "RunFailure",
     "RunProfile",
     "RunResult",
@@ -92,6 +101,8 @@ __all__ = [
     "SimStats",
     "SparseSpec",
     "StashSpec",
+    "SupervisorPolicy",
+    "SweepJournal",
     "SweepPoint",
     "SweepReport",
     "SyntheticTraceGenerator",
@@ -107,6 +118,7 @@ __all__ = [
     "generate_streams",
     "harness",
     "profile",
+    "recovery_from_env",
     "run_app",
     "run_app_guarded",
     "run_litmus",

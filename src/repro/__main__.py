@@ -8,6 +8,8 @@ Usage::
     python -m repro fig13 --apps barnes TPC-C
     python -m repro --all --keep-going --timeout 600
     python -m repro fig10 --audit
+    python -m repro fig10 --recovery repair
+    python -m repro --all --resume
     python -m repro fig13 --profile
     python -m repro verify --fuzz --steps 2000 --seed 7
 
@@ -26,6 +28,13 @@ prints a per-sweep summary plus cProfile stats of the slowest computed
 point. ``--audit`` enables the online protocol auditor (equivalent to
 setting ``REPRO_AUDIT=on``); ``--keep-going`` records per-run failures
 and keeps sweeping instead of aborting on the first crash.
+
+``--recovery repair`` arms self-healing coherence (equivalent to
+``REPRO_RECOVERY=repair``): a tripped invariant is repaired in place
+and the run resumes instead of aborting; see ``docs/resilience.md``.
+Sweeps journal per-point completion next to the result cache, and
+``--resume`` skips the journaled points of an interrupted sweep; see
+``docs/harness.md``.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ from repro.analysis import experiments
 from repro.analysis.cache import cache_dir, cache_enabled
 from repro.analysis.runner import HarnessPolicy, RunScale, harness
 from repro.parallel import (
+    SweepJournal,
     collect_points,
     dedupe_points,
     pending_points,
@@ -116,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the online protocol auditor (same as REPRO_AUDIT=on)",
     )
     parser.add_argument(
+        "--recovery",
+        choices=("abort", "repair", "repair-strict"),
+        metavar="MODE",
+        help="self-healing mode for tripped invariants: abort (default), "
+        "repair, or repair-strict (same as REPRO_RECOVERY=MODE; implies "
+        "auditing)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip sweep points already journaled by a previous "
+        "(interrupted) run and recompute only the rest",
+    )
+    parser.add_argument(
         "--keep-going",
         action="store_true",
         help="collect per-run failures instead of aborting the sweep",
@@ -172,9 +196,16 @@ def _prewarm(names, scale, args, policy, jobs: int) -> None:
     if not points and not args.profile:
         return
     profile_dir = str(cache_dir() / "profiles") if args.profile else None
+    journal = SweepJournal.default() if cache_enabled() else None
     report = run_sweep(points, jobs=jobs, policy=policy,
-                       profile_dir=profile_dir)
+                       profile_dir=profile_dir,
+                       journal=journal, resume=args.resume)
     print(report.summary().render(), file=sys.stderr)
+    if args.resume and report.resumed_points:
+        print(
+            f"resumed: {report.resumed_points} journaled point(s) skipped",
+            file=sys.stderr,
+        )
     if args.profile:
         if report.profiles:
             print(render_profiles_table(report.profiles))
@@ -203,6 +234,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return 2
     if args.audit:
         os.environ["REPRO_AUDIT"] = "on"
+    if args.recovery:
+        # Via the environment so pool workers (and cache keys) see it.
+        os.environ["REPRO_RECOVERY"] = args.recovery
     scale = _SCALES[args.scale]()
     policy = HarnessPolicy(
         keep_going=args.keep_going,
@@ -212,7 +246,7 @@ def main(argv: "list[str] | None" = None) -> int:
     jobs = resolve_jobs(args.jobs)
     failed_figures = []
     with harness(policy):
-        if (jobs > 1 or args.profile) and cache_enabled():
+        if (jobs > 1 or args.profile or args.resume) and cache_enabled():
             _prewarm(names, scale, args, policy, jobs)
         for name in names:
             fn, extra = FIGURES[name]

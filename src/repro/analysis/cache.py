@@ -67,6 +67,16 @@ def cache_enabled() -> bool:
 
 def _key(app: str, scheme, scale: RunScale) -> str:
     payload = f"v{CACHE_VERSION}|{app}|{scheme!r}|{scale!r}"
+    faults = os.environ.get("REPRO_FAULTS", "").strip()
+    if faults:
+        # Fault-injected runs must never collide with clean entries (or
+        # with runs under a different plan/seed/recovery policy). Clean
+        # runs keep the historical key, so existing caches stay valid.
+        payload += (
+            f"|faults={faults}"
+            f"|fault_seed={os.environ.get('REPRO_FAULT_SEED', '').strip()}"
+            f"|recovery={os.environ.get('REPRO_RECOVERY', '').strip()}"
+        )
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 

@@ -16,7 +16,9 @@ import contextlib
 import os
 from dataclasses import dataclass, field
 
-from repro.resilience.auditor import auditor_from_env
+from repro.recovery import recovery_from_env
+from repro.resilience.auditor import ProtocolAuditor, auditor_from_env
+from repro.resilience.faults import injector_from_env
 from repro.sim.deadline import deadline_scope
 from repro.sim.config import SystemConfig
 from repro.sim.engine import run_trace
@@ -121,13 +123,24 @@ def run_app(
     if config is None:
         config = scale.make_config(scheme)
     streams = generate_streams(app, config, scale.total_accesses, seed=scale.seed)
-    system = System(config)
-    stats = run_trace(system, streams, auditor=auditor_from_env())
+    injector = injector_from_env()
+    system = System(config, fault_injector=injector)
+    auditor = auditor_from_env()
+    recovery = recovery_from_env()
+    if recovery is not None and auditor is None:
+        # Recovery can only act at audit windows; turn detection on.
+        auditor = ProtocolAuditor()
+    stats = run_trace(system, streams, auditor=auditor, recovery=recovery)
+    meta = {"scheme_spec": scheme, "num_cores": config.num_cores}
+    if injector is not None:
+        meta["injected_faults"] = len(injector.injected)
+    if recovery is not None and recovery.events:
+        meta["repairs"] = recovery.repairs
     return RunResult(
         app=app.name,
         scheme=getattr(scheme, "name", type(scheme).__name__),
         stats=stats,
-        meta={"scheme_spec": scheme, "num_cores": config.num_cores},
+        meta=meta,
     )
 
 

@@ -71,6 +71,24 @@ class OracleViolation(InvariantViolation):
     """
 
 
+class RecoveryError(ReproError):
+    """A repair step could not reconstruct a consistent tracking state
+    (e.g. the private caches themselves disagree about ownership)."""
+
+
+class RecoveryEscalation(InvariantViolation):
+    """Recovery escalated to abort.
+
+    Raised by :class:`~repro.recovery.manager.RecoveryManager` when a
+    violation cannot be repaired within the
+    :class:`~repro.recovery.manager.RecoveryPolicy` bounds: the repair
+    budget is exhausted, the violation carries no diagnosable address,
+    the probe found contradictory ground truth, or (under
+    ``repair-strict``) a previously repaired address trips again.
+    The original violation is chained as ``__cause__``.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A :class:`~repro.resilience.faults.FaultPlan` could not be applied
     (e.g. the targeted address is not currently tracked anywhere)."""
@@ -82,3 +100,13 @@ class TraceError(ReproError):
 
 class RunTimeoutError(ReproError):
     """A single simulation exceeded the harness per-run timeout."""
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died (or hung) while computing a point.
+
+    Used by the supervised :func:`~repro.parallel.executor.run_sweep`
+    to report points whose worker crashed out of every retry, so the
+    failure survives round-trips through the string-serialized
+    :class:`~repro.analysis.runner.RunFailure` record.
+    """

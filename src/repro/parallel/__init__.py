@@ -20,6 +20,7 @@ exactly this plan/execute/render split. See ``docs/harness.md``.
 """
 
 from repro.parallel.executor import SweepReport, resolve_jobs, run_sweep, run_tasks
+from repro.parallel.journal import SweepJournal
 from repro.parallel.planner import collect_points, pending_points
 from repro.parallel.points import SweepPoint, dedupe_points
 from repro.parallel.profiling import (
@@ -29,9 +30,12 @@ from repro.parallel.profiling import (
     render_profiles_table,
     summarize,
 )
+from repro.parallel.supervisor import SupervisorPolicy, supervisor_from_env
 
 __all__ = [
     "RunProfile",
+    "SupervisorPolicy",
+    "SweepJournal",
     "SweepPoint",
     "SweepReport",
     "SweepSummary",
@@ -44,4 +48,5 @@ __all__ = [
     "run_sweep",
     "run_tasks",
     "summarize",
+    "supervisor_from_env",
 ]

@@ -1,0 +1,93 @@
+"""Crash-safe sweep checkpoint journal.
+
+The journal is an append-only JSONL file recording one line per
+completed sweep point (by its stable cache key): ``ok`` when the point
+computed and its result is in the result cache, ``failed`` with enough
+context to replay the :class:`~repro.analysis.runner.RunFailure`. If
+the sweep process is killed — power loss, OOM kill, Ctrl-C — the journal
+survives with at worst one torn trailing line, which :meth:`load`
+tolerates; ``--resume`` then skips every journaled point and recomputes
+only what is genuinely missing.
+
+Appending a full line per point (open, write, flush, fsync, close) is
+deliberately boring: points take seconds to compute, so journal I/O is
+noise, and the format stays greppable and mergeable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+
+class SweepJournal:
+    """Append-only per-point completion journal for one sweep."""
+
+    FILENAME = "sweep.journal"
+
+    def __init__(self, path: "pathlib.Path | str") -> None:
+        self.path = pathlib.Path(path)
+
+    @classmethod
+    def default(cls) -> "SweepJournal":
+        """The journal co-located with the result cache."""
+        from repro.analysis.cache import cache_dir
+
+        return cls(cache_dir() / cls.FILENAME)
+
+    def reset(self) -> None:
+        """Start a fresh sweep: drop any previous journal."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def load(self) -> "dict[str, dict]":
+        """Latest record per point key; torn/corrupt lines are skipped."""
+        records: "dict[str, dict]" = {}
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn write from a killed sweep; later lines (there
+                # are none unless the file was concatenated) still load.
+                continue
+            key = record.get("key")
+            if isinstance(key, str) and record.get("status") in ("ok", "failed"):
+                records[key] = record
+        return records
+
+    def record_ok(self, key: str) -> None:
+        """Journal a successfully computed (and cached) point."""
+        self._append({"key": key, "status": "ok"})
+
+    def record_failed(
+        self, key: str, app: str, scheme: str, error: str, attempts: int = 1
+    ) -> None:
+        """Journal a point that exhausted its attempts."""
+        self._append(
+            {
+                "key": key,
+                "status": "failed",
+                "app": app,
+                "scheme": scheme,
+                "error": error,
+                "attempts": attempts,
+            }
+        )
+
+    def _append(self, record: "dict") -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())

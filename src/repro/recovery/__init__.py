@@ -1,0 +1,30 @@
+"""Self-healing coherence: bounded detect -> diagnose -> repair -> resume.
+
+PR 1 added fault *injection* and online *detection*; this package closes
+the loop. A :class:`RecoveryManager` wraps the
+:class:`~repro.resilience.auditor.ProtocolAuditor` audit sites so a
+tripped invariant no longer aborts the run: the corrupted address is
+quarantined, its tracking state is reconstructed by quiet-probing the
+private caches (:meth:`~repro.coherence.base.BaseHome.probe_truth`),
+the scheme's home controller rewrites the structure that claims the
+block (:meth:`~repro.coherence.base.BaseHome.rebuild_tracking`), the
+full audit re-runs to verify the repair, and the simulation resumes.
+Repairs are bounded by a :class:`RecoveryPolicy`; exhausting the budget
+escalates to :class:`~repro.errors.RecoveryEscalation`.
+"""
+
+from repro.recovery.manager import (
+    DEFAULT_MAX_REPAIRS,
+    RecoveryManager,
+    RecoveryPolicy,
+    RepairEvent,
+    recovery_from_env,
+)
+
+__all__ = [
+    "DEFAULT_MAX_REPAIRS",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "RepairEvent",
+    "recovery_from_env",
+]

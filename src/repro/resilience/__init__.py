@@ -27,6 +27,8 @@ from repro.resilience.faults import (
     FaultKind,
     FaultPlan,
     InjectedFault,
+    injector_from_env,
+    plan_from_env,
     tracking_location,
 )
 from repro.resilience.recorder import FlightRecorder, NullRecorder, TransactionRecord
@@ -43,5 +45,7 @@ __all__ = [
     "ProtocolAuditor",
     "TransactionRecord",
     "auditor_from_env",
+    "injector_from_env",
+    "plan_from_env",
     "tracking_location",
 ]

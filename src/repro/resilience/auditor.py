@@ -21,6 +21,7 @@ auditing on or off.
 from __future__ import annotations
 
 import os
+import sys
 
 from repro.errors import InvariantViolation, ProtocolError
 from repro.resilience.recorder import FlightRecorder
@@ -78,8 +79,11 @@ def auditor_from_env() -> "ProtocolAuditor | None":
     """Build an auditor from ``REPRO_AUDIT``, or None when disabled.
 
     ``REPRO_AUDIT`` accepts ``on``/``1``/``yes``/``true`` (default
-    interval) or a positive integer audit interval; anything else —
-    including unset — disables auditing.
+    interval), a positive integer audit interval, or
+    ``off``/``0``/``no``/``false``/unset to disable. Anything else —
+    a typo like ``ture``, a negative interval — disables auditing too,
+    but *loudly*: a warning on stderr, never a silent None, so a
+    misconfigured environment cannot masquerade as a clean audit.
     """
     raw = os.environ.get("REPRO_AUDIT", "").strip().lower()
     if not raw or raw in ("off", "0", "no", "false"):
@@ -89,5 +93,12 @@ def auditor_from_env() -> "ProtocolAuditor | None":
     try:
         interval = int(raw)
     except ValueError:
+        interval = -1
+    if interval <= 0:
+        print(
+            f"repro: ignoring invalid REPRO_AUDIT={raw!r} (expected "
+            f"on/off or a positive audit interval); auditing is DISABLED",
+            file=sys.stderr,
+        )
         return None
-    return ProtocolAuditor(interval=interval) if interval > 0 else None
+    return ProtocolAuditor(interval=interval)

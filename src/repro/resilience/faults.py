@@ -20,7 +20,9 @@ must notice.
 from __future__ import annotations
 
 import enum
+import os
 import random
+import sys
 from dataclasses import dataclass
 
 from repro.errors import FaultInjectionError
@@ -337,3 +339,68 @@ class FaultInjector:
             recorder = self.system.home.recorder
             if recorder.enabled:
                 recorder.record(addr, f"fault:{kind.value}", core=core, detail=location)
+
+
+def plan_from_env() -> "FaultPlan | None":
+    """Build a :class:`FaultPlan` from ``REPRO_FAULTS``, or None.
+
+    ``REPRO_FAULTS`` is a comma-separated list of ``kind@after_access``
+    entries (e.g. ``corrupt_directory_entry@8000,flip_sharer_bit@12000``;
+    ``@after_access`` defaults to 1), with the target address/core left
+    to the plan's seeded RNG. ``REPRO_FAULT_SEED`` (integer, default 0)
+    seeds target resolution. Malformed entries warn on stderr and
+    disable injection entirely — a chaos run must never silently turn
+    into a clean run.
+    """
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw or raw.lower() in ("off", "0", "no", "false", "none"):
+        return None
+
+    def _reject(reason: str) -> None:
+        print(
+            f"repro: ignoring invalid REPRO_FAULTS={raw!r} ({reason}); "
+            f"fault injection is DISABLED",
+            file=sys.stderr,
+        )
+
+    faults = []
+    for item in raw.split(","):
+        item = item.strip().lower()
+        if not item:
+            continue
+        name, _, position = item.partition("@")
+        try:
+            kind = FaultKind(name)
+        except ValueError:
+            _reject(f"unknown fault kind {name!r}")
+            return None
+        after_access = 1
+        if position:
+            try:
+                after_access = int(position)
+            except ValueError:
+                after_access = -1
+            if after_access < 0:
+                _reject(f"bad access position {position!r}")
+                return None
+        faults.append(Fault(kind, after_access=after_access))
+    if not faults:
+        _reject("no faults listed")
+        return None
+    seed_raw = os.environ.get("REPRO_FAULT_SEED", "").strip()
+    seed = 0
+    if seed_raw:
+        try:
+            seed = int(seed_raw)
+        except ValueError:
+            _reject(f"bad REPRO_FAULT_SEED {seed_raw!r}")
+            return None
+    return FaultPlan(faults=tuple(faults), seed=seed)
+
+
+def injector_from_env() -> "FaultInjector | None":
+    """A :class:`FaultInjector` over :func:`plan_from_env`, or None."""
+    plan = plan_from_env()
+    if plan is None:
+        return None
+    return FaultInjector(plan)

@@ -19,6 +19,14 @@ through: each access is bracketed by a quiet pre-state probe and a
 post-access value check, validating every observed load against the
 sequentially-consistent reference memory.
 
+A :class:`~repro.recovery.manager.RecoveryManager` turns detection into
+self-healing: audit windows are routed through the manager, which
+repairs a tripped invariant (probe the private caches, rebuild the
+tracking entry, re-verify) and lets the trace loop *resume* from the
+same point instead of aborting — the next heap pop continues exactly
+where the violation was caught. Recovery costs are published to the
+statistics' recovery section after finalize.
+
 The loop also honours the harness deadline
 (:mod:`repro.sim.deadline`): every ``CHECK_STRIDE`` accesses it checks
 the armed wall-clock limit and raises
@@ -54,6 +62,7 @@ class TraceEngine:
         warmup_fraction: float = 0.4,
         auditor=None,
         oracle=None,
+        recovery=None,
     ) -> None:
         if len(streams) > system.config.num_cores:
             raise ValueError(
@@ -66,6 +75,14 @@ class TraceEngine:
         self.warmup_fraction = warmup_fraction
         self.auditor = auditor
         self.oracle = oracle
+        self.recovery = recovery
+
+    def _audit(self, system) -> None:
+        """One audit window, routed through recovery when enabled."""
+        if self.recovery is not None:
+            self.recovery.audit(self.auditor, system)
+        else:
+            self.auditor.audit(system)
 
     def run(self) -> SimStats:
         """Run every stream to completion; returns finalized stats."""
@@ -107,7 +124,7 @@ class TraceEngine:
             if processed % CHECK_STRIDE == 0:
                 check_deadline()
             if auditor is not None and processed % auditor.interval == 0:
-                auditor.audit(system)
+                self._audit(system)
             if warmup_left and processed == warmup_left:
                 system.stats.reset()
                 measure_start = finish
@@ -116,9 +133,11 @@ class TraceEngine:
                 heapq.heappush(heap, (done, core, index))
         if auditor is not None and (total == 0 or processed % auditor.interval):
             # Close the final (partial) audit window.
-            auditor.audit(system)
+            self._audit(system)
         stats = system.finalize()
         stats.cycles = max(0, finish - measure_start)
+        if self.recovery is not None:
+            self.recovery.publish(stats)
         return stats
 
 
@@ -128,8 +147,14 @@ def run_trace(
     warmup_fraction: float = 0.4,
     auditor=None,
     oracle=None,
+    recovery=None,
 ) -> SimStats:
     """Convenience wrapper: run ``streams`` on ``system`` and return stats."""
     return TraceEngine(
-        system, streams, warmup_fraction, auditor=auditor, oracle=oracle
+        system,
+        streams,
+        warmup_fraction,
+        auditor=auditor,
+        oracle=oracle,
+        recovery=recovery,
     ).run()

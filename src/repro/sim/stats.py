@@ -54,6 +54,10 @@ class SimStats:
         #: Structure-level counters harvested at finalize (energy model,
         #: directory hit/allocation figures).
         self.structures: "dict[str, float]" = {}
+        #: Recovery section, published by the RecoveryManager after the
+        #: run when at least one repair happened; empty (and excluded
+        #: from dumps) otherwise, so clean runs stay bit-identical.
+        self.recovery: "dict[str, int]" = {}
 
     def reset(self) -> None:
         """Zero every counter in place (end of warmup).
@@ -199,11 +203,13 @@ class SimStats:
             sharer_bins=list(self.sharer_bins),
             structures=dict(self.structures),
         )
+        if self.recovery:
+            snapshot["recovery"] = dict(self.recovery)
         return snapshot
 
     def dump(self) -> "dict[str, object]":
         """A lossless serializable snapshot (see :meth:`load`)."""
-        return {
+        payload = {
             "scalars": {name: getattr(self, name) for name in self._SCALARS},
             "sharer_bins": list(self.sharer_bins),
             "stra_block_categories": list(self.stra_block_categories),
@@ -211,6 +217,9 @@ class SimStats:
             "structures": dict(self.structures),
             "traffic": self.traffic.dump(),
         }
+        if self.recovery:
+            payload["recovery"] = dict(self.recovery)
+        return payload
 
     @classmethod
     def load(cls, payload: "dict[str, object]") -> "SimStats":
@@ -222,5 +231,6 @@ class SimStats:
         stats.stra_block_categories = list(payload["stra_block_categories"])
         stats.stra_access_categories = list(payload["stra_access_categories"])
         stats.structures = dict(payload["structures"])
+        stats.recovery = dict(payload.get("recovery") or {})
         stats.traffic = TrafficMeter.load(payload["traffic"])
         return stats

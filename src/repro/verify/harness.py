@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FaultInjectionError, ProtocolError
+from repro.recovery import RecoveryManager
 from repro.resilience.auditor import ProtocolAuditor
 from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.sim.config import SystemConfig
@@ -56,6 +57,7 @@ class VerifyHarness:
         oracle: bool = True,
         coverage: "CoverageMap | None" = None,
         fault_seed: int = 0,
+        recovery: "RecoveryManager | None" = None,
     ) -> None:
         self.system = system
         self.injector = system.fault_injector
@@ -69,8 +71,15 @@ class VerifyHarness:
             coverage.install(system)
         self.auditor = ProtocolAuditor(interval=max(1, audit_interval))
         self.auditor.install(system)
+        self.recovery = recovery
         self.now = 0
         self.executed = 0
+
+    def _audit(self) -> None:
+        if self.recovery is not None:
+            self.recovery.audit(self.auditor, self.system)
+        else:
+            self.auditor.audit(self.system)
 
     @property
     def injected(self) -> "list[InjectedFault]":
@@ -95,11 +104,11 @@ class VerifyHarness:
             self.oracle.observe(self.system, core, addr, kind, pre)
         self.executed += 1
         if self.executed % self.auditor.interval == 0:
-            self.auditor.audit(self.system)
+            self._audit()
 
     def finish(self) -> None:
         """Close the run with a final full audit."""
-        self.auditor.audit(self.system)
+        self._audit()
 
 
 @dataclass
@@ -116,6 +125,8 @@ class ScheduleResult:
     #: True when a fault pseudo-step could not be applied (its target
     #: was not live); the shrinker treats such schedules as non-failing.
     fault_unapplied: bool = False
+    #: Successful repairs performed by an attached recovery manager.
+    repairs: int = 0
 
     @property
     def failed(self) -> bool:
@@ -134,6 +145,7 @@ def run_schedule(
     audit_interval: int = DEFAULT_VERIFY_AUDIT_INTERVAL,
     oracle: bool = True,
     coverage: "CoverageMap | None" = None,
+    recovery: "RecoveryManager | None" = None,
 ) -> ScheduleResult:
     """Run ``steps`` on a fresh (or supplied) system under monitoring.
 
@@ -141,7 +153,11 @@ def run_schedule(
     end the run and are reported as the result's ``violation``; a
     :class:`~repro.errors.FaultInjectionError` (the fault pseudo-step's
     target is gone — typical while shrinking away its setup) ends the
-    run cleanly with ``fault_unapplied`` set.
+    run cleanly with ``fault_unapplied`` set. With a ``recovery``
+    manager attached, audit-window invariant violations are repaired
+    in place (the result stays clean and counts the ``repairs``)
+    instead of failing the schedule; oracle violations and escalations
+    still fail it.
     """
     if system is None:
         if spec is None:
@@ -153,6 +169,7 @@ def run_schedule(
         oracle=oracle,
         coverage=coverage,
         fault_seed=seed,
+        recovery=recovery,
     )
     result = ScheduleResult(coverage=coverage)
     try:
@@ -173,4 +190,6 @@ def run_schedule(
         result.fail_step = max(0, len(list(steps)) - 1) if steps else None
     result.executed = harness.executed
     result.injected = list(harness.injected)
+    if recovery is not None:
+        result.repairs = recovery.repairs
     return result

@@ -142,6 +142,67 @@ class TestAuditorFromEnv:
         monkeypatch.setenv("REPRO_AUDIT", "123")
         assert auditor_from_env().interval == 123
 
+    @pytest.mark.parametrize("value", ["ture", "-5", "0x10", "1.5"])
+    def test_invalid_value_warns_instead_of_silently_disabling(
+        self, monkeypatch, capsys, value
+    ):
+        # Regression: "ture" (typo for "true") or "-5" used to disable
+        # auditing without a word — a chaos run silently became clean.
+        monkeypatch.setenv("REPRO_AUDIT", value)
+        assert auditor_from_env() is None
+        err = capsys.readouterr().err
+        assert "REPRO_AUDIT" in err and value in err
+        assert "DISABLED" in err
+
+    @pytest.mark.parametrize("value", ["off", "0", "no", "false", ""])
+    def test_explicit_off_does_not_warn(self, monkeypatch, capsys, value):
+        monkeypatch.setenv("REPRO_AUDIT", value)
+        assert auditor_from_env() is None
+        assert capsys.readouterr().err == ""
+
+
+class TestFaultPlanFromEnv:
+    def test_disabled_by_default(self, monkeypatch):
+        from repro.resilience import injector_from_env, plan_from_env
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert plan_from_env() is None
+        assert injector_from_env() is None
+
+    def test_parses_kinds_positions_and_seed(self, monkeypatch):
+        from repro.resilience import plan_from_env
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "corrupt_directory_entry@8000,flip_sharer_bit"
+        )
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        plan = plan_from_env()
+        assert plan is not None and plan.seed == 42
+        assert [f.kind for f in plan.faults] == [
+            FaultKind.CORRUPT_DIRECTORY_ENTRY,
+            FaultKind.FLIP_SHARER_BIT,
+        ]
+        assert [f.after_access for f in plan.faults] == [8000, 1]
+
+    @pytest.mark.parametrize(
+        "value", ["corrupt_dir_entry@10", "flip_sharer_bit@x", "," ]
+    )
+    def test_invalid_value_warns_and_disables(self, monkeypatch, capsys, value):
+        from repro.resilience import plan_from_env
+
+        monkeypatch.setenv("REPRO_FAULTS", value)
+        assert plan_from_env() is None
+        err = capsys.readouterr().err
+        assert "REPRO_FAULTS" in err and "DISABLED" in err
+
+    def test_bad_seed_warns_and_disables(self, monkeypatch, capsys):
+        from repro.resilience import plan_from_env
+
+        monkeypatch.setenv("REPRO_FAULTS", "flip_sharer_bit@10")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "lots")
+        assert plan_from_env() is None
+        assert "REPRO_FAULT_SEED" in capsys.readouterr().err
+
 
 class TestFlightRecorder:
     def test_null_recorder_is_inert(self):
