@@ -16,30 +16,54 @@ wall-clock bound by the slowest point instead of the sum of all points.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro.analysis.cache import cache_enabled
 from repro.parallel import collect_points, pending_points, resolve_jobs, run_sweep
+from repro.telemetry import bench_dir_from_env, write_bench_point
 
 
 @pytest.fixture
-def figure_runner(benchmark):
+def figure_runner(benchmark, request):
     """Run an experiment function once and print its rendered table.
 
     When more than one worker is available (``REPRO_JOBS`` or cpu
     count) and the result cache is enabled, the experiment's uncached
     points are executed through the parallel sweep executor first.
+
+    With ``REPRO_BENCH_DIR`` set, each benchmark additionally persists
+    a ``BENCH_<test>.json`` perf point (wall-clock seconds, computed
+    point count, scale, worker count) for CI to archive; see
+    ``docs/telemetry.md``.
     """
 
     def run(experiment, *args, **kwargs):
         jobs = resolve_jobs()
+        computed = 0
+        started = time.perf_counter()
         if jobs > 1 and cache_enabled():
             points = pending_points(collect_points(experiment, *args, **kwargs))
             if points:
+                computed = len(points)
                 run_sweep(points, jobs=jobs)
         figure = benchmark.pedantic(
             lambda: experiment(*args, **kwargs), rounds=1, iterations=1
         )
+        elapsed = time.perf_counter() - started
+        bench_dir = bench_dir_from_env()
+        if bench_dir is not None:
+            write_bench_point(
+                bench_dir,
+                request.node.name,
+                seconds=round(elapsed, 3),
+                computed_points=computed,
+                scale=os.environ.get("REPRO_SCALE", "default"),
+                jobs=jobs,
+                experiment=getattr(experiment, "__name__", str(experiment)),
+            )
         print()
         print(figure.render())
         return figure

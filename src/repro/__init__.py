@@ -32,6 +32,9 @@ The package layers:
 * ``repro.verify`` — the protocol conformance subsystem: litmus tests,
   the random-walk fuzzer with shrinking, transition coverage, and the
   ``python -m repro verify`` entry point; see ``docs/verification.md``.
+* ``repro.telemetry`` — structured transaction tracing (``TraceEvent``,
+  ring/JSONL sinks), the metrics registry with phase timers, and
+  ``BENCH_*.json`` perf-baseline emission; see ``docs/telemetry.md``.
 
 The full documented public surface is re-exported here; see
 ``docs/architecture.md`` for the module map.
@@ -70,6 +73,20 @@ from repro.sim.engine import TraceEngine, run_trace
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 from repro.sim.system import System
+from repro.telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    install_tracer,
+    merge_snapshots,
+    merge_worker_traces,
+    metrics_from_env,
+    read_trace,
+    tracer_from_env,
+    write_bench_point,
+)
 from repro.types import Access, AccessKind
 from repro.verify import (
     CoverageMap,
@@ -90,10 +107,13 @@ __all__ = [
     "CoverageMap",
     "HarnessPolicy",
     "InLLCSpec",
+    "JsonlSink",
+    "MetricsRegistry",
     "MgdSpec",
     "PROFILES",
     "RecoveryManager",
     "RecoveryPolicy",
+    "RingBufferSink",
     "RunFailure",
     "RunProfile",
     "RunResult",
@@ -110,6 +130,8 @@ __all__ = [
     "SystemConfig",
     "TinySpec",
     "TraceEngine",
+    "TraceEvent",
+    "Tracer",
     "ValueOracle",
     "WorkloadProfile",
     "cached_run",
@@ -117,7 +139,12 @@ __all__ = [
     "fuzz_run",
     "generate_streams",
     "harness",
+    "install_tracer",
+    "merge_snapshots",
+    "merge_worker_traces",
+    "metrics_from_env",
     "profile",
+    "read_trace",
     "recovery_from_env",
     "run_app",
     "run_app_guarded",
@@ -127,5 +154,7 @@ __all__ = [
     "run_tasks",
     "run_trace",
     "scale_from_env",
+    "tracer_from_env",
+    "write_bench_point",
     "__version__",
 ]

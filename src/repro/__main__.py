@@ -11,6 +11,7 @@ Usage::
     python -m repro fig10 --recovery repair
     python -m repro --all --resume
     python -m repro fig13 --profile
+    python -m repro fig10 --trace --metrics
     python -m repro verify --fuzz --steps 2000 --seed 7
 
 ``verify`` dispatches to the protocol conformance runner (litmus
@@ -35,6 +36,12 @@ and the run resumes instead of aborting; see ``docs/resilience.md``.
 Sweeps journal per-point completion next to the result cache, and
 ``--resume`` skips the journaled points of an interrupted sweep; see
 ``docs/harness.md``.
+
+``--trace`` writes a structured JSONL event trace of every *computed*
+run (cache hits re-run nothing, so trace a cold cache or set
+``REPRO_CACHE=off``), ``--metrics`` snapshots counters and phase timers
+into the stats telemetry section; render traces with
+``python tools/trace_report.py``. See ``docs/telemetry.md``.
 """
 
 from __future__ import annotations
@@ -173,6 +180,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point profiles plus cProfile stats of the slowest "
         "computed point",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a structured JSONL trace of every computed run "
+        "(same as REPRO_TRACE=jsonl; see docs/telemetry.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace destination (default trace.jsonl; same as "
+        "REPRO_TRACE_OUT=PATH; implies --trace)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/gauges/phase timers into the stats "
+        "telemetry section (same as REPRO_METRICS=on)",
+    )
     return parser
 
 
@@ -237,6 +262,13 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.recovery:
         # Via the environment so pool workers (and cache keys) see it.
         os.environ["REPRO_RECOVERY"] = args.recovery
+    if args.trace or args.trace_out:
+        # setdefault keeps an explicit REPRO_TRACE=ring (etc.) in force.
+        os.environ.setdefault("REPRO_TRACE", "jsonl")
+    if args.trace_out:
+        os.environ["REPRO_TRACE_OUT"] = args.trace_out
+    if args.metrics:
+        os.environ["REPRO_METRICS"] = "on"
     scale = _SCALES[args.scale]()
     policy = HarnessPolicy(
         keep_going=args.keep_going,

@@ -24,8 +24,10 @@ from repro.errors import InvariantViolation, RecoveryError
 from repro.interconnect.mesh import Mesh2D
 from repro.interconnect.traffic import MessageClass, TrafficMeter
 from repro.memory.dram import DramModel
+from repro.core.stra import stra_category
 from repro.resilience.recorder import NullRecorder
 from repro.sim.config import SystemConfig
+from repro.telemetry import NULL_TRACER
 from repro.types import AccessKind, LLCState, PrivateState
 
 
@@ -67,6 +69,9 @@ class BaseHome:
         #: Transition-coverage sink; a no-op unless a conformance run
         #: installs a real CoverageMap (see repro.verify.coverage).
         self.coverage = NullCoverage()
+        #: Structured trace sink; the shared disabled tracer unless a
+        #: traced run installs a real one (see repro.telemetry).
+        self.tracer = NULL_TRACER
         self.num_banks = config.num_banks
         self.banks = [
             LLCBank(
@@ -184,6 +189,11 @@ class BaseHome:
                 )
             if self.coverage.enabled:
                 self.coverage.note(f"inval:{prior.value}->I")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "inval", cycle=now, core=holder, addr=addr,
+                    prior=prior.value,
+                )
             self.traffic.control(MessageClass.COHERENCE)  # invalidation
             if prior is PrivateState.MODIFIED:
                 had_dirty = True
@@ -220,6 +230,18 @@ class BaseHome:
 
     def _flush_residency(self, line: LLCLine) -> None:
         if not line.is_spill:
+            if self.tracer.enabled and line.fwd_reads > 0:
+                ratio = (
+                    line.fwd_reads / line.total_reads
+                    if line.total_reads
+                    else 1.0
+                )
+                self.tracer.emit(
+                    "stra:classify",
+                    addr=line.tag,
+                    category=stra_category(ratio),
+                    fwd_reads=line.fwd_reads,
+                )
             self.stats.flush_residency(line)
 
     def finalize(self) -> None:

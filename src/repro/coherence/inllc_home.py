@@ -677,6 +677,8 @@ class TinyHome(InLLCHome):
         (which becomes corrupted exclusive)."""
         if self.coverage.enabled:
             self.coverage.note("tiny:unspill")
+        if self.tracer.enabled:
+            self.tracer.emit("tiny:unspill", addr=spill.tag)
         coh, stra = spill.coh, spill.stra
         bank.remove(spill)
         if line is None:
@@ -699,14 +701,22 @@ class TinyHome(InLLCHome):
         if entry is not None:
             if self.coverage.enabled:
                 self.coverage.note("tiny:alloc")
+            if self.tracer.enabled:
+                self.tracer.emit("tiny:alloc", cycle=now, addr=addr)
             if victim is not None:
                 if self.coverage.enabled:
                     self.coverage.note("tiny:evict")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "tiny:evict", cycle=now, addr=victim.addr
+                    )
                 self._rehome_victim(victim, now)
             self._detach_tracking(line, bank)
             return
         if self.coverage.enabled:
             self.coverage.note("tiny:decline")
+        if self.tracer.enabled:
+            self.tracer.emit("tiny:decline", cycle=now, addr=addr)
         if not self.spill_enabled:
             return
         if not self.spill_policies[home].allows(category):
@@ -723,6 +733,8 @@ class TinyHome(InLLCHome):
             self._handle_llc_victim(svictim, now)
         if self.coverage.enabled:
             self.coverage.note("tiny:spill")
+        if self.tracer.enabled:
+            self.tracer.emit("tiny:spill", cycle=now, addr=addr)
         self.stats.spills += 1
         self._detach_tracking(line, bank)
 
@@ -785,6 +797,10 @@ class TinyHome(InLLCHome):
             self.recorder.record(addr, "back_invalidate", detail=f"holders={coh.holders()}")
         if self.coverage.enabled:
             self.coverage.note("llc:back_invalidate")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "back_inval", cycle=now, addr=addr, holders=coh.holders()
+            )
         had_dirty = False
         for holder in coh.holders():
             prior = self.cores[holder].invalidate(addr)

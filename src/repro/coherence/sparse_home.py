@@ -69,6 +69,10 @@ class SparseHome(BaseHome):
             self.recorder.record(addr, "back_invalidate", detail=f"holders={coh.holders()}")
         if self.coverage.enabled:
             self.coverage.note("dir:back_invalidate")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "back_inval", cycle=now, addr=addr, holders=coh.holders()
+            )
         self.stats.back_invalidations += len(coh.holders())
         self._invalidate_holders(addr, coh, now)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.cache.sets import SetAssocArray
 from repro.coherence.info import CohInfo
 from repro.errors import ConfigError
+from repro.telemetry import NULL_TRACER
 
 #: Slices at or below this many entries become fully associative.
 FULLY_ASSOC_THRESHOLD = 16
@@ -23,6 +24,9 @@ FULLY_ASSOC_THRESHOLD = 16
 
 class SparseDirectory:
     """A banked sparse directory with NRU replacement."""
+
+    #: Structured trace sink; install_tracer swaps in a live tracer.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -88,9 +92,13 @@ class SparseDirectory:
         slice_, set_index = self._locate(addr)
         evicted = slice_.insert(set_index, addr, coh)
         self.allocations += 1
+        if self.tracer.enabled:
+            self.tracer.emit("dir:alloc", addr=addr)
         if evicted is None:
             return None
         self.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit("dir:evict", addr=evicted.tag)
         return evicted.tag, evicted.payload
 
     def remove(self, addr: int) -> "CohInfo | None":

@@ -17,6 +17,7 @@ import random
 
 from repro.coherence.info import CohInfo
 from repro.errors import ConfigError
+from repro.telemetry import NULL_TRACER
 
 
 class _Entry:
@@ -117,6 +118,9 @@ class ZCacheDirectory:
     can use either interchangeably.
     """
 
+    #: Structured trace sink; install_tracer swaps in a live tracer.
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         total_entries: int,
@@ -173,10 +177,15 @@ class ZCacheDirectory:
         slice_index = addr % self.num_banks
         victim = self._slices[slice_index].insert(addr // self.num_banks, coh)
         self.allocations += 1
+        if self.tracer.enabled:
+            self.tracer.emit("dir:alloc", addr=addr)
         if victim is None:
             return None
         self.evictions += 1
-        return victim.addr * self.num_banks + slice_index, victim.coh
+        victim_addr = victim.addr * self.num_banks + slice_index
+        if self.tracer.enabled:
+            self.tracer.emit("dir:evict", addr=victim_addr)
+        return victim_addr, victim.coh
 
     def remove(self, addr: int) -> "CohInfo | None":
         """Drop the entry for ``addr``."""

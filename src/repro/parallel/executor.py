@@ -67,6 +67,11 @@ from repro.parallel.profiling import RunProfile, SweepSummary, summarize
 from repro.parallel.supervisor import SupervisorPolicy, supervisor_from_env
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
+from repro.telemetry import (
+    jsonl_trace_enabled,
+    merge_snapshots,
+    merge_worker_traces,
+)
 
 
 def resolve_jobs(jobs: "int | None" = None) -> int:
@@ -105,7 +110,10 @@ def run_tasks(fn, payloads: "list", jobs: "int | None" = None) -> "list":
         initializer=_init_worker,
         initargs=(env, None, 0, None),
     ) as pool:
-        return list(pool.map(fn, payloads))
+        results = list(pool.map(fn, payloads))
+    if jsonl_trace_enabled():
+        merge_worker_traces()
+    return results
 
 
 @dataclass
@@ -135,6 +143,17 @@ class SweepReport:
     def summary(self) -> SweepSummary:
         return summarize(self.profiles, self.jobs, self.wall_s)
 
+    def telemetry(self) -> dict:
+        """The merged telemetry snapshot across every result.
+
+        Counters add, gauges keep the last value seen, histograms widen
+        (see :func:`repro.telemetry.merge_snapshots`). Empty when no run
+        collected metrics (``REPRO_METRICS`` off).
+        """
+        return merge_snapshots(
+            [r.stats.telemetry for r in self.results if r is not None]
+        )
+
 
 # ----------------------------------------------------------------------
 # Worker side
@@ -156,6 +175,10 @@ def _init_worker(env: "dict[str, str]", timeout_s, max_retries, profile_dir):
         if key not in env:
             del os.environ[key]
     os.environ.update(env)
+    # Traced workers write per-process <trace>.<pid>.part files; the
+    # parent fans them into the base trace after the sweep (see
+    # repro.telemetry.merge_worker_traces).
+    os.environ["REPRO_TRACE_WORKER"] = "1"
     _WORKER["timeout_s"] = timeout_s
     _WORKER["max_retries"] = max_retries
     _WORKER["profile_dir"] = profile_dir
@@ -557,6 +580,9 @@ def run_sweep(
             # surviving pool is healthy, so a waiting shutdown is safe.
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+    if jsonl_trace_enabled():
+        merge_worker_traces()
 
     # Failure reporting stays deterministic (submission order) no matter
     # which worker finished, crashed, or got salvaged first.

@@ -197,6 +197,11 @@ class RecoveryManager:
                 verified=verified,
             )
         )
+        tracer = getattr(system.home, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "recovery:repair", addr=addr, action=action, verified=verified
+            )
 
     def _escalate(self, message, cause, *, addr=None) -> None:
         self.escalations += 1

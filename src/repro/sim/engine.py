@@ -38,9 +38,11 @@ from __future__ import annotations
 
 import heapq
 
+from repro.errors import InvariantViolation
 from repro.sim.deadline import CHECK_STRIDE, check_deadline
 from repro.sim.stats import SimStats
 from repro.sim.system import System
+from repro.telemetry import NULL_TRACER, install_tracer
 from repro.types import Access
 
 
@@ -63,6 +65,7 @@ class TraceEngine:
         auditor=None,
         oracle=None,
         recovery=None,
+        tracer=None,
     ) -> None:
         if len(streams) > system.config.num_cores:
             raise ValueError(
@@ -76,21 +79,34 @@ class TraceEngine:
         self.auditor = auditor
         self.oracle = oracle
         self.recovery = recovery
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _audit(self, system) -> None:
         """One audit window, routed through recovery when enabled."""
-        if self.recovery is not None:
-            self.recovery.audit(self.auditor, system)
-        else:
-            self.auditor.audit(system)
+        try:
+            if self.recovery is not None:
+                self.recovery.audit(self.auditor, system)
+            else:
+                self.auditor.audit(system)
+        except InvariantViolation as err:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "audit:violation", addr=err.addr, error=err.message
+                )
+            raise
+        if self.tracer.enabled:
+            self.tracer.emit("audit:window", audits=self.auditor.audits)
 
     def run(self) -> SimStats:
         """Run every stream to completion; returns finalized stats."""
         system = self.system
         auditor = self.auditor
         oracle = self.oracle
+        tracer = self.tracer
         if auditor is not None:
             auditor.install(system)
+        if tracer.enabled:
+            install_tracer(system, tracer)
         total = sum(len(stream) for stream in self.streams)
         warmup_left = int(total * self.warmup_fraction)
         if total and warmup_left >= total:
@@ -109,6 +125,14 @@ class TraceEngine:
             clock, core, index = heapq.heappop(heap)
             acc = self.streams[core][index]
             issue_time = clock + acc.gap
+            if tracer.enabled:
+                tracer.emit(
+                    "txn:start",
+                    cycle=issue_time,
+                    core=acc.core,
+                    addr=acc.addr,
+                    op=acc.kind.name,
+                )
             pre_state = (
                 oracle.pre_state(system, acc.core, acc.addr)
                 if oracle is not None
@@ -118,6 +142,14 @@ class TraceEngine:
             if oracle is not None:
                 oracle.observe(system, acc.core, acc.addr, acc.kind, pre_state)
             done = issue_time + latency
+            if tracer.enabled:
+                tracer.emit(
+                    "txn:finish",
+                    cycle=done,
+                    core=acc.core,
+                    addr=acc.addr,
+                    latency=latency,
+                )
             if done > finish:
                 finish = done
             processed += 1
@@ -148,6 +180,7 @@ def run_trace(
     auditor=None,
     oracle=None,
     recovery=None,
+    tracer=None,
 ) -> SimStats:
     """Convenience wrapper: run ``streams`` on ``system`` and return stats."""
     return TraceEngine(
@@ -157,4 +190,5 @@ def run_trace(
         auditor=auditor,
         oracle=oracle,
         recovery=recovery,
+        tracer=tracer,
     ).run()

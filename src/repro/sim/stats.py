@@ -58,6 +58,11 @@ class SimStats:
         #: run when at least one repair happened; empty (and excluded
         #: from dumps) otherwise, so clean runs stay bit-identical.
         self.recovery: "dict[str, int]" = {}
+        #: Telemetry section, published by a MetricsRegistry snapshot
+        #: after the run when metrics collection was on; empty (and
+        #: excluded from dumps) otherwise — same bit-identity contract
+        #: as the recovery section.
+        self.telemetry: "dict[str, object]" = {}
 
     def reset(self) -> None:
         """Zero every counter in place (end of warmup).
@@ -205,6 +210,8 @@ class SimStats:
         )
         if self.recovery:
             snapshot["recovery"] = dict(self.recovery)
+        if self.telemetry:
+            snapshot["telemetry"] = dict(self.telemetry)
         return snapshot
 
     def dump(self) -> "dict[str, object]":
@@ -219,6 +226,8 @@ class SimStats:
         }
         if self.recovery:
             payload["recovery"] = dict(self.recovery)
+        if self.telemetry:
+            payload["telemetry"] = dict(self.telemetry)
         return payload
 
     @classmethod
@@ -232,5 +241,6 @@ class SimStats:
         stats.stra_access_categories = list(payload["stra_access_categories"])
         stats.structures = dict(payload["structures"])
         stats.recovery = dict(payload.get("recovery") or {})
+        stats.telemetry = dict(payload.get("telemetry") or {})
         stats.traffic = TrafficMeter.load(payload["traffic"])
         return stats

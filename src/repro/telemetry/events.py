@@ -1,0 +1,132 @@
+"""Structured trace events.
+
+A :class:`TraceEvent` is one observation of the simulator doing
+something interesting: a memory transaction starting or finishing, a
+tracking structure allocating or evicting an entry, a spill, a
+back-invalidation, an STRA classification, an audit window closing, or
+a recovery repair. Events are *structured* — a short ``group:action``
+kind string plus typed context fields — so a trace can be filtered,
+aggregated, and replayed mechanically instead of being grepped out of
+log prose.
+
+The event taxonomy (the authoritative table lives in
+``docs/telemetry.md``):
+
+========================  =====================================  ==========================
+kind                      emitted from                           extra fields
+========================  =====================================  ==========================
+``txn:start``             ``repro.sim.engine``                   ``op``
+``txn:finish``            ``repro.sim.engine``                   ``latency``
+``inval``                 ``repro.coherence.base``               ``prior``
+``back_inval``            ``repro.coherence`` home controllers   ``holders``
+``dir:alloc``             ``repro.directory`` containers         ``grain`` (MgD only)
+``dir:evict``             ``repro.directory`` containers         ``grain`` (MgD only)
+``tiny:alloc``            ``repro.coherence.inllc_home``         —
+``tiny:evict``            ``repro.coherence.inllc_home``         —
+``tiny:decline``          ``repro.coherence.inllc_home``         —
+``tiny:spill``            ``repro.coherence.inllc_home``         —
+``tiny:unspill``          ``repro.coherence.inllc_home``         —
+``stra:classify``         ``repro.coherence.base``               ``category``, ``fwd_reads``
+``audit:window``          ``repro.sim.engine``                   ``audits``
+``audit:violation``       ``repro.sim.engine``                   ``error``
+``recovery:repair``       ``repro.recovery.manager``             ``action``, ``verified``
+========================  =====================================  ==========================
+
+Serialization is line-oriented JSON (JSONL): one
+:func:`TraceEvent.to_dict` object per line, reversible bit-exactly via
+:func:`TraceEvent.from_dict` — the round trip is pinned by
+``tests/test_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+#: Every event kind the simulator emits, grouped for docs and tooling.
+EVENT_KINDS: "tuple[str, ...]" = (
+    "txn:start",
+    "txn:finish",
+    "inval",
+    "back_inval",
+    "dir:alloc",
+    "dir:evict",
+    "tiny:alloc",
+    "tiny:evict",
+    "tiny:decline",
+    "tiny:spill",
+    "tiny:unspill",
+    "stra:classify",
+    "audit:window",
+    "audit:violation",
+    "recovery:repair",
+)
+
+
+class TraceEvent:
+    """One structured simulator observation.
+
+    ``seq`` is a per-tracer monotonic sequence number (emission order),
+    ``kind`` one of :data:`EVENT_KINDS`, and ``cycle``/``core``/``addr``
+    the simulated context where known. Anything event-specific rides in
+    ``data``.
+    """
+
+    __slots__ = ("seq", "kind", "cycle", "core", "addr", "data")
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        cycle: "int | None" = None,
+        core: "int | None" = None,
+        addr: "int | None" = None,
+        data: "dict | None" = None,
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.cycle = cycle
+        self.core = core
+        self.addr = addr
+        self.data = data or {}
+
+    def to_dict(self) -> dict:
+        """A compact JSON-serializable form (omits absent context)."""
+        payload: dict = {"seq": self.seq, "kind": self.kind}
+        if self.cycle is not None:
+            payload["cycle"] = self.cycle
+        if self.core is not None:
+            payload["core"] = self.core
+        if self.addr is not None:
+            payload["addr"] = self.addr
+        if self.data:
+            payload["data"] = self.data
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            seq=payload["seq"],
+            kind=payload["kind"],
+            cycle=payload.get("cycle"),
+            core=payload.get("core"),
+            addr=payload.get("addr"),
+            data=dict(payload.get("data") or {}),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:  # pragma: no cover - events are not keys
+        return hash((self.seq, self.kind, self.addr))
+
+    def __repr__(self) -> str:
+        parts = [f"#{self.seq} {self.kind}"]
+        if self.cycle is not None:
+            parts.append(f"@{self.cycle}")
+        if self.core is not None:
+            parts.append(f"core={self.core}")
+        if self.addr is not None:
+            parts.append(f"addr={self.addr:#x}")
+        parts.extend(f"{key}={value}" for key, value in self.data.items())
+        return " ".join(parts)

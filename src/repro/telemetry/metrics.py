@@ -1,0 +1,202 @@
+"""Metrics registry: counters, gauges, histograms, phase timers.
+
+A :class:`MetricsRegistry` is a per-run bag of named instruments that
+snapshots into plain JSON-serializable dicts. The harness
+(:func:`repro.analysis.runner.run_app`) builds one when
+``REPRO_METRICS`` / ``--metrics`` is on, feeds it wall-clock phase
+timers plus transaction counters harvested from the finished
+:class:`~repro.sim.stats.SimStats`, and publishes the snapshot into the
+stats' ``telemetry`` section — which, like the ``recovery`` section, is
+included in dumps *only when nonempty*, so metrics-off runs keep a
+bit-identical statistics dump.
+
+Snapshots from independent runs (e.g. :mod:`repro.parallel` workers)
+merge with :func:`merge_snapshots`: counters and histogram counts add,
+gauges keep the last value seen, histogram min/max widen.
+
+Determinism note: counters and gauges derive from simulated state and
+are deterministic; the ``phase:*`` timers measure host wall-clock time
+and are **not** — they exist to feed performance baselines
+(``BENCH_*.json``), not figures. This is why the telemetry section is
+excluded from the golden statistics snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+import time
+from contextlib import contextmanager
+
+
+class Histogram:
+    """A log2-bucketed histogram of non-negative samples.
+
+    Buckets are powers of two (the bucket key is
+    ``ceil(log2(value))``, with a dedicated ``0`` bucket), which keeps
+    the snapshot tiny over any value range — latencies in cycles and
+    phase times in seconds share the same machinery.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: "float | None" = None
+        self.max: "float | None" = None
+        self.buckets: "dict[int, int]" = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        key = 0 if value <= 0 else max(0, math.ceil(math.log2(value)))
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(key): self.buckets[key] for key in sorted(self.buckets)},
+        }
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold a snapshot produced by :meth:`as_dict` into this histogram."""
+        self.count += int(payload.get("count", 0))
+        self.total += float(payload.get("total", 0.0))
+        for bound in ("min", "max"):
+            theirs = payload.get(bound)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound)
+            if ours is None:
+                setattr(self, bound, theirs)
+            else:
+                pick = min if bound == "min" else max
+                setattr(self, bound, pick(ours, theirs))
+        for key, count in (payload.get("buckets") or {}).items():
+            key = int(key)
+            self.buckets[key] = self.buckets.get(key, 0) + int(count)
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run (or one sweep)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, int]" = {}
+        self._gauges: "dict[str, float]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a ``with`` body into histogram ``phase:<name>`` (seconds)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(f"phase:{name}", time.perf_counter() - start)
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot; empty dict when nothing was recorded."""
+        payload: dict = {}
+        if self._counters:
+            payload["counters"] = dict(sorted(self._counters.items()))
+        if self._gauges:
+            payload["gauges"] = dict(sorted(self._gauges.items()))
+        if self._histograms:
+            payload["histograms"] = {
+                name: hist.as_dict()
+                for name, hist in sorted(self._histograms.items())
+            }
+        return payload
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.count(name, value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name, value)
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.merge_dict(payload)
+
+    def publish(self, stats) -> None:
+        """Fill ``stats.telemetry`` — only when something was recorded,
+        so metrics-off runs keep a bit-identical statistics dump."""
+        snapshot = self.snapshot()
+        if snapshot:
+            stats.telemetry = snapshot
+
+
+def merge_snapshots(snapshots: "list[dict]") -> dict:
+    """Merge per-run telemetry snapshots (e.g. across sweep workers)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            merged.merge(snapshot)
+    return merged.snapshot()
+
+
+@contextmanager
+def phase(metrics: "MetricsRegistry | None", name: str):
+    """``metrics.timer(name)`` that degrades to a no-op without metrics."""
+    if metrics is None:
+        yield
+    else:
+        with metrics.timer(name):
+            yield
+
+
+def metrics_from_env() -> "MetricsRegistry | None":
+    """Build a fresh registry from ``REPRO_METRICS``, or None.
+
+    ``on``/``1``/``yes``/``true`` enable metrics collection;
+    ``off``/``0``/``no``/``false``/unset disable it. Anything else
+    disables too, with a warning on stderr — never silently, matching
+    the other ``*_from_env`` builders.
+    """
+    raw = os.environ.get("REPRO_METRICS", "").strip().lower()
+    if not raw or raw in ("off", "0", "no", "false"):
+        return None
+    if raw in ("on", "1", "yes", "true"):
+        return MetricsRegistry()
+    print(
+        f"repro: ignoring invalid REPRO_METRICS={raw!r} (expected on or "
+        f"off); metrics collection is DISABLED",
+        file=sys.stderr,
+    )
+    return None

@@ -118,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a minimized reproducer JSON file and exit "
         "(0 if the violation still fires)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a structured JSONL trace of every verify schedule "
+        "(same as REPRO_TRACE=jsonl; see docs/telemetry.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace destination (default trace.jsonl; same as "
+        "REPRO_TRACE_OUT=PATH; implies --trace)",
+    )
     return parser
 
 
@@ -274,7 +286,15 @@ def _coverage_gate(args, coverage) -> int:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
+    if args.trace or args.trace_out:
+        # Via the environment so fuzz pool workers trace too; setdefault
+        # keeps an explicit REPRO_TRACE=ring (etc.) in force.
+        os.environ.setdefault("REPRO_TRACE", "jsonl")
+    if args.trace_out:
+        os.environ["REPRO_TRACE_OUT"] = args.trace_out
     if args.replay is not None:
         return _run_replay(args.replay)
     schemes = _selected_schemes(args)

@@ -22,6 +22,7 @@ from repro.resilience.auditor import ProtocolAuditor
 from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.sim.config import SystemConfig
 from repro.sim.system import System
+from repro.telemetry import install_tracer, tracer_from_env
 from repro.types import Access
 from repro.verify.coverage import CoverageMap
 from repro.verify.oracle import ValueOracle
@@ -163,6 +164,9 @@ def run_schedule(
         if spec is None:
             raise ValueError("run_schedule needs a system or a scheme spec")
         system = build_system(spec, num_cores, l1_kb, l2_kb, seed=seed)
+    tracer = tracer_from_env()
+    if tracer is not None:
+        install_tracer(system, tracer)
     harness = VerifyHarness(
         system,
         audit_interval=audit_interval,
@@ -188,6 +192,9 @@ def run_schedule(
         # The closing audit tripped: blame the last step.
         result.violation = f"{type(err).__name__}: {err}"
         result.fail_step = max(0, len(list(steps)) - 1) if steps else None
+    finally:
+        if tracer is not None:
+            tracer.close()
     result.executed = harness.executed
     result.injected = list(harness.injected)
     if recovery is not None:

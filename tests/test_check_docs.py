@@ -113,3 +113,36 @@ def test_missing_doc_reported(checker):
     module, _ = checker
     problems = module.check_flags(*PAIR)
     assert any("docs/harness.md" in p and "missing" in p for p in problems)
+
+
+def test_real_repo_tracks_telemetry_pair():
+    spec = importlib.util.spec_from_file_location("check_docs", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert ("src/repro/__main__.py", "docs/telemetry.md",
+            ("--trace", "--trace-out", "--metrics")) in module.FLAG_PAIRS
+
+
+def test_undocumented_env_var_detected(checker):
+    module, root = checker
+    source = root / "src" / "repro" / "knobs.py"
+    source.write_text("import os\nX = os.environ.get('REPRO_NEW_KNOB')\n")
+    (root / "docs" / "harness.md").write_text("no env vars here\n")
+    problems = module.check_env_vars()
+    assert any("REPRO_NEW_KNOB" in p and "undocumented" in p for p in problems)
+
+
+def test_stale_documented_env_var_detected(checker):
+    module, root = checker
+    (root / "docs" / "harness.md").write_text(
+        "| `REPRO_GONE` | long removed |\n"
+    )
+    problems = module.check_env_vars()
+    assert any("REPRO_GONE" in p and "never" in p for p in problems)
+
+
+def test_internal_env_vars_exempt(checker):
+    module, root = checker
+    source = root / "src" / "repro" / "knobs.py"
+    source.write_text("import os\nos.environ['REPRO_TRACE_WORKER'] = '1'\n")
+    assert module.check_env_vars() == []

@@ -36,8 +36,16 @@ FLAG_PAIRS = [
     ("src/repro/__main__.py", "docs/harness.md"),
     ("src/repro/__main__.py", "docs/resilience.md",
      ("--audit", "--recovery", "--resume")),
+    ("src/repro/__main__.py", "docs/telemetry.md",
+     ("--trace", "--trace-out", "--metrics")),
     ("src/repro/verify/cli.py", "docs/verification.md"),
 ]
+
+#: ``REPRO_*`` environment variables that are implementation plumbing,
+#: not user surface; exempt from the documentation requirement.
+ENV_INTERNAL = {
+    "REPRO_TRACE_WORKER",  # set by the pool to route worker trace parts
+}
 
 #: Markdown inline link: [text](target), ignoring images and code spans.
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+)\)")
@@ -128,8 +136,37 @@ def check_flags(
     return problems
 
 
+_ENV_VAR = re.compile(r"\bREPRO_[A-Z_]+\b")
+
+
+def check_env_vars() -> "list[str]":
+    """Keep the ``REPRO_*`` surface and its documentation in lockstep.
+
+    Every variable the simulator reads must be mentioned somewhere in
+    README.md or ``docs/*.md`` (except :data:`ENV_INTERNAL`), and every
+    variable the docs mention must still exist in the source, so a
+    renamed knob cannot leave its old name lingering in the docs.
+    """
+    in_src: "set[str]" = set()
+    for path in sorted((REPO / "src").rglob("*.py")):
+        in_src |= set(_ENV_VAR.findall(path.read_text()))
+    in_docs: "set[str]" = set()
+    for path in doc_files():
+        in_docs |= set(_ENV_VAR.findall(path.read_text()))
+    problems = []
+    for var in sorted(in_src - in_docs - ENV_INTERNAL):
+        problems.append(f"docs: environment variable {var} is undocumented")
+    for var in sorted(in_docs - in_src):
+        problems.append(
+            f"docs: environment variable {var} is documented but never "
+            "read under src/"
+        )
+    return problems
+
+
 def main() -> int:
     problems = check_links()
+    problems += check_env_vars()
     for pair in FLAG_PAIRS:
         problems += check_flags(*pair)
     for problem in problems:

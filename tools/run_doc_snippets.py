@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` snippet in the documentation.
+
+Keeps the prose honest: each ```` ```python ```` block in ``README.md``
+and ``docs/*.md`` must be a self-contained program that runs clean
+against the current tree (generated ``docs/api/`` pages are exempt —
+their snippets are docstring fragments, not programs). Each block runs
+in a fresh namespace, so an example cannot silently lean on state a
+previous example happened to leave behind.
+
+Opt a block out by putting ``<!-- doctest: skip -->`` on its own line
+directly above the opening fence (illustrative fragments, deliberately
+failing examples).
+
+Hermeticity: runs force ``REPRO_SCALE=quick`` and point
+``REPRO_CACHE_DIR`` at a throwaway directory, so doc runs are fast and
+never touch (or depend on) the developer's real result cache.
+
+Exit status: number of failing blocks, capped at 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import sys
+import tempfile
+import time
+import traceback
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SKIP_MARKER = "<!-- doctest: skip -->"
+FENCE = re.compile(r"^```python\s*$")
+
+
+def extract_blocks(path: pathlib.Path) -> "list[tuple[int, str]]":
+    """(first_code_line, code) for each runnable python block in ``path``."""
+    lines = path.read_text().splitlines()
+    blocks = []
+    index = 0
+    while index < len(lines):
+        if FENCE.match(lines[index]):
+            # Look upward past blank lines for a skip marker.
+            probe = index - 1
+            while probe >= 0 and not lines[probe].strip():
+                probe -= 1
+            skipped = probe >= 0 and lines[probe].strip() == SKIP_MARKER
+            start = index + 1
+            end = start
+            while end < len(lines) and lines[end].rstrip() != "```":
+                end += 1
+            if not skipped:
+                blocks.append((start + 1, "\n".join(lines[start:end])))
+            index = end
+        index += 1
+    return blocks
+
+
+def doc_files() -> "list[pathlib.Path]":
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def run_block(path: pathlib.Path, lineno: int, code: str) -> "str | None":
+    """Run one block; returns the formatted traceback on failure."""
+    label = f"{path.relative_to(REPO)}:{lineno}"
+    # Fresh namespace per block: every example must stand alone.
+    namespace = {"__name__": "__doc_snippet__"}
+    try:
+        exec(compile(code, label, "exec"), namespace)  # noqa: S102
+    except Exception:  # noqa: BLE001 - report and keep checking
+        return traceback.format_exc()
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/run_doc_snippets.py",
+        description="Run every fenced python snippet in README.md and docs/.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=pathlib.Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_SCALE"] = "quick"
+    failures = 0
+    total = 0
+    with tempfile.TemporaryDirectory(prefix="repro-doctest-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        for path in args.files or doc_files():
+            path = path.resolve()
+            for lineno, code in extract_blocks(path):
+                total += 1
+                started = time.perf_counter()
+                error = run_block(path, lineno, code)
+                elapsed = time.perf_counter() - started
+                label = f"{path.relative_to(REPO)}:{lineno}"
+                if error is None:
+                    print(f"ok   {label} ({elapsed:.1f}s)")
+                else:
+                    failures += 1
+                    print(f"FAIL {label}")
+                    print(error, file=sys.stderr)
+    print(f"doc snippets: {total} run, {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
