@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Hot-path microbenchmarks: fast lane vs reference lane, trace cache.
+
+Unlike the ``bench_fig*.py`` suite (which regenerates paper figures),
+this script times the *simulator itself*: the engine's private-hit fast
+lane against the reference lane on a private-hit-dominated workload and
+on a mixed tiny-directory workload, and the memoized trace cache against
+cold generation. Each point is emitted as a ``BENCH_*.json`` file via
+:func:`repro.telemetry.write_bench_point` so CI can gate regressions
+with ``tools/compare_bench.py`` against the committed baselines in
+``benchmarks/baselines/``.
+
+Every timing point also asserts that the fast and reference lanes
+produce bit-identical statistics — the perf gate doubles as a
+correctness gate.
+
+Gated metrics are wall-clock *ratios* (speedups), which are stable
+across machines; absolute seconds ride along as informational fields.
+
+Usage::
+
+    python benchmarks/bench_micro_hotpath.py --out .repro_bench
+    python benchmarks/bench_micro_hotpath.py --out benchmarks/baselines  # refresh baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.sim.config import SparseSpec, SystemConfig, TinySpec
+from repro.sim.engine import run_trace
+from repro.sim.system import System
+from repro.telemetry import write_bench_point
+from repro.workloads.generator import (
+    clear_trace_cache,
+    generate_streams,
+    trace_cache_stats,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+#: The private-hit-dominated microbenchmark workload: a tight per-core
+#: working set (8% of the private L2, zipf 1.1) that settles into >98%
+#: L1 hits after the init pass, with just enough shared traffic to keep
+#: the home controllers honest. This is the acceptance workload for the
+#: fast lane's >= 1.5x speedup criterion.
+MICRO_PRIVATE_HIT = WorkloadProfile(
+    name="micro_private_hit",
+    description="hot-path microbenchmark: private-hit-dominated mix",
+    private_fraction=0.97,
+    shared_fraction=0.01,
+    hot_fraction=0.01,
+    code_fraction=0.01,
+    stream_fraction=0.0,
+    private_region_factor=0.08,
+    pool_factor=0.005,
+    hot_blocks_per_core=8.0,
+    code_blocks_per_core=8.0,
+    write_fraction_private=0.3,
+    write_fraction_shared=0.1,
+    hot_write_fraction=0.01,
+    sharer_bin_weights=(0.7, 0.2, 0.07, 0.03),
+    zipf_exponent=0.9,
+    hot_zipf_exponent=0.8,
+    private_zipf_exponent=1.1,
+    cpi_gap=24,
+)
+
+_CORES = 16
+_SEED = 1
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best (minimum) wall-clock of ``repeats`` calls to ``fn``.
+
+    The collector is drained before and disabled during each timed
+    call, so a collection triggered by garbage from an *earlier* point
+    cannot land inside a later point's measurement window.
+    """
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _time_lanes(config: SystemConfig, streams, repeats: int) -> dict:
+    """Time both lanes over ``streams``; assert bit-identical stats."""
+    results = {}
+
+    def run_lane(fast: bool):
+        return run_trace(System(config), streams, fast_path=fast)
+
+    reference_stats = run_lane(False)
+    fast_stats = run_lane(True)
+    if reference_stats.dump() != fast_stats.dump():
+        raise SystemExit(
+            "bench_micro_hotpath: fast lane diverged from the reference "
+            "lane — statistics are not bit-identical"
+        )
+    results["ref_seconds"] = _best_of(lambda: run_lane(False), repeats)
+    results["fast_seconds"] = _best_of(lambda: run_lane(True), repeats)
+    results["speedup"] = results["ref_seconds"] / results["fast_seconds"]
+    results["accesses"] = reference_stats.accesses
+    results["l1_hit_fraction"] = reference_stats.l1_hits / max(
+        1, reference_stats.accesses
+    )
+    return results
+
+
+def bench_private_hit(total_accesses: int, repeats: int) -> dict:
+    """Fast vs reference lane on the private-hit-dominated workload."""
+    config = SystemConfig(num_cores=_CORES, scheme=SparseSpec())
+    streams = generate_streams(
+        MICRO_PRIVATE_HIT, config, total_accesses, seed=_SEED
+    )
+    metrics = _time_lanes(config, streams, repeats)
+    return {
+        "metrics": metrics,
+        # The acceptance criterion: >= 1.5x on this workload, and no
+        # tolerated regression below baseline * (1 - tolerance).
+        "gate": {"speedup": {"direction": "higher", "floor": 1.5}},
+        "workload": MICRO_PRIVATE_HIT.name,
+        "scheme": "sparse",
+    }
+
+
+def bench_mixed_tiny(total_accesses: int, repeats: int) -> dict:
+    """Fast vs reference lane on a mixed workload under TinySpec(spill)."""
+    config = SystemConfig(
+        num_cores=_CORES, scheme=TinySpec(spill=True)
+    )
+    streams = generate_streams("bodytrack", config, total_accesses, seed=_SEED)
+    metrics = _time_lanes(config, streams, repeats)
+    return {
+        "metrics": metrics,
+        # Mixed traffic spends most of its time in the home controllers,
+        # so the lane gain is modest and noisy — the gate only demands
+        # the fast lane never loses to the reference lane (floor_only:
+        # no baseline-relative tolerance check).
+        "gate": {
+            "speedup": {"direction": "higher", "floor": 1.0, "floor_only": True}
+        },
+        "workload": "bodytrack",
+        "scheme": "tiny+spill",
+    }
+
+
+def bench_trace_cache(total_accesses: int, repeats: int) -> dict:
+    """Cold stream generation vs a per-process trace-cache hit."""
+    config = SystemConfig(num_cores=_CORES, scheme=SparseSpec())
+
+    def cold():
+        clear_trace_cache()
+        generate_streams("bodytrack", config, total_accesses, seed=_SEED)
+
+    def cached():
+        generate_streams("bodytrack", config, total_accesses, seed=_SEED)
+
+    cold_seconds = _best_of(cold, repeats)
+    cached()  # ensure the entry is resident
+    cached_seconds = _best_of(cached, max(repeats, 10))
+    stats = trace_cache_stats()
+    return {
+        "metrics": {
+            "cold_seconds": cold_seconds,
+            "cached_seconds": cached_seconds,
+            "speedup": cold_seconds / max(cached_seconds, 1e-9),
+            "cache_hits": stats["hits"],
+        },
+        # A cache hit is a dict lookup; its absolute time is sub-µs
+        # noise, so the ratio swings wildly between runs — gate only the
+        # floor: anything under 10x means the memoization is broken.
+        "gate": {
+            "speedup": {"direction": "higher", "floor": 10.0, "floor_only": True}
+        },
+        "workload": "bodytrack",
+    }
+
+
+POINTS = {
+    "micro_private_hit": bench_private_hit,
+    "micro_mixed_tiny": bench_mixed_tiny,
+    "micro_trace_cache": bench_trace_cache,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.environ.get("REPRO_BENCH_DIR") or ".repro_bench",
+        help="directory for BENCH_*.json points (default: REPRO_BENCH_DIR "
+        "or .repro_bench)",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=150000,
+        help="steady-state accesses per timing point (default 150000; "
+        "long enough that the miss-heavy init pass does not dilute the "
+        "steady-state hit rate)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions; the best (minimum) is reported",
+    )
+    parser.add_argument(
+        "--only",
+        choices=sorted(POINTS),
+        action="append",
+        help="run a subset of points (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    names = args.only or sorted(POINTS)
+    if args.only is None and len(names) > 1:
+        # One clean subprocess per point: residual state from an earlier
+        # point (trace-cache entries, allocator fragmentation, warmed-up
+        # code objects) must not leak into a later point's timings.
+        for name in names:
+            command = [
+                sys.executable,
+                os.path.abspath(__file__),
+                "--only",
+                name,
+                "--out",
+                args.out,
+                "--accesses",
+                str(args.accesses),
+                "--repeats",
+                str(args.repeats),
+            ]
+            completed = subprocess.run(command)
+            if completed.returncode != 0:
+                return completed.returncode
+        return 0
+    for name in names:
+        payload = POINTS[name](args.accesses, args.repeats)
+        payload["accesses_requested"] = args.accesses
+        payload["repeats"] = args.repeats
+        path = write_bench_point(args.out, name, **payload)
+        metrics = payload["metrics"]
+        summary = ", ".join(
+            f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(metrics.items())
+        )
+        print(f"{name}: {summary}")
+        print(f"  -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

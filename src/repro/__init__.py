@@ -70,6 +70,7 @@ from repro.sim.config import (
     TinySpec,
 )
 from repro.sim.engine import TraceEngine, run_trace
+from repro.sim.fastpath import fast_lane_from_env
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 from repro.sim.system import System
@@ -95,7 +96,12 @@ from repro.verify import (
     run_litmus,
     run_schedule,
 )
-from repro.workloads.generator import SyntheticTraceGenerator, generate_streams
+from repro.workloads.generator import (
+    SyntheticTraceGenerator,
+    clear_trace_cache,
+    generate_streams,
+    trace_cache_stats,
+)
 from repro.workloads.profiles import APPLICATIONS, PROFILES, WorkloadProfile, profile
 
 __version__ = "1.0.0"
@@ -135,7 +141,9 @@ __all__ = [
     "ValueOracle",
     "WorkloadProfile",
     "cached_run",
+    "clear_trace_cache",
     "collect_points",
+    "fast_lane_from_env",
     "fuzz_run",
     "generate_streams",
     "harness",
@@ -154,6 +162,7 @@ __all__ = [
     "run_tasks",
     "run_trace",
     "scale_from_env",
+    "trace_cache_stats",
     "tracer_from_env",
     "write_bench_point",
     "__version__",

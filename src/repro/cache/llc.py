@@ -86,6 +86,18 @@ class LLCLine:
 class LLCBank:
     """One bank of the shared LLC."""
 
+    __slots__ = (
+        "num_sets",
+        "assoc",
+        "bank_stride",
+        "_sets",
+        "_sample_sets",
+        "tag_lookups",
+        "data_reads",
+        "data_writes",
+        "fills",
+    )
+
     def __init__(
         self,
         num_sets: int,

@@ -46,6 +46,8 @@ class ProbeResult:
 class PrivateCore:
     """The private cache hierarchy of one core."""
 
+    __slots__ = ("core_id", "il1", "dl1", "l2")
+
     def __init__(
         self,
         core_id: int,
@@ -63,34 +65,86 @@ class PrivateCore:
     # Lookup path
     # ------------------------------------------------------------------
 
+    #: :meth:`classify` return codes.
+    MISS = 0
+    L1_HIT = 1
+    L2_HIT = 2
+    UPGRADE_L1 = 3
+    UPGRADE_L2 = 4
+
+    def classify(self, addr: int, kind: AccessKind) -> int:
+        """Probe the hierarchy for an access; returns an int code.
+
+        The fast-lane twin of :meth:`probe` — identical side effects
+        (recency touches in both levels, L1 promotion on an L2 hit, the
+        silent E->M write upgrade, the inclusion check) but an int code
+        instead of a :class:`ProbeResult` allocation. This is the single
+        hottest call in the simulator, so the per-level LRU lookups of
+        :meth:`SetAssocArray.lookup` are inlined (the private arrays are
+        always LRU).
+
+        Codes: ``MISS`` (0), ``L1_HIT`` (1), ``L2_HIT`` (2, promoted
+        into the L1), ``UPGRADE_L1``/``UPGRADE_L2`` (3/4: held in S but
+        the access is a write, so the home must serve an upgrade).
+        """
+        l1 = self.il1 if kind is AccessKind.IFETCH else self.dl1
+        lines = l1._sets.get(addr % l1.num_sets)
+        l1_line = None
+        if lines:
+            for position, line in enumerate(lines):
+                if line.tag == addr:
+                    if position != len(lines) - 1:
+                        del lines[position]
+                        lines.append(line)
+                    l1_line = line
+                    break
+        l2 = self.l2
+        lines = l2._sets.get(addr % l2.num_sets)
+        l2_line = None
+        if lines:
+            for position, line in enumerate(lines):
+                if line.tag == addr:
+                    if position != len(lines) - 1:
+                        del lines[position]
+                        lines.append(line)
+                    l2_line = line
+                    break
+        if l2_line is None:
+            if l1_line is not None:
+                raise ProtocolError(
+                    f"core {self.core_id}: block {addr:#x} in L1 but not L2"
+                )
+            return 0
+        state = l2_line.payload
+        if kind is AccessKind.WRITE:
+            if state is PrivateState.SHARED:
+                return 3 if l1_line is not None else 4
+            if state is PrivateState.EXCLUSIVE:
+                l2_line.payload = PrivateState.MODIFIED
+        if l1_line is not None:
+            return 1
+        # L2 hit: promote into L1 (inclusive, so no notice is needed for
+        # the L1 victim -- the L2 still holds it).
+        self._l1_fill(l1, addr)
+        return 2
+
     def probe(self, addr: int, kind: AccessKind) -> ProbeResult:
         """Probe the hierarchy for an access without filling anything.
 
         On an L2 hit the block is promoted into the appropriate L1. A
         write that finds the block in S state reports ``needs_upgrade``;
         a write that finds it in E state silently upgrades to M.
+        Delegates to :meth:`classify`, so the reference and fast lanes
+        share one probe implementation.
         """
-        l1 = self.il1 if kind is AccessKind.IFETCH else self.dl1
-        l1_line = l1.lookup(l1.set_index(addr), addr)
-        l2_line = self.l2.lookup(self.l2.set_index(addr), addr)
-        if l1_line is not None and l2_line is None:
-            raise ProtocolError(
-                f"core {self.core_id}: block {addr:#x} in L1 but not L2"
-            )
-        if l2_line is None:
+        code = self.classify(addr, kind)
+        if code == 0:
             return ProbeResult("miss")
-        state = l2_line.payload
-        if kind is AccessKind.WRITE:
-            if state is PrivateState.SHARED:
-                return ProbeResult("l1" if l1_line else "l2", needs_upgrade=True)
-            if state is PrivateState.EXCLUSIVE:
-                l2_line.payload = PrivateState.MODIFIED
-        if l1_line is not None:
-            return ProbeResult("l1")
-        # L2 hit: promote into L1 (inclusive, so no notice is needed for
-        # the L1 victim -- the L2 still holds it).
-        self._l1_fill(l1, addr)
-        return ProbeResult("l2")
+        if code == 3:
+            return ProbeResult("l1", needs_upgrade=True)
+        if code == 4:
+            return ProbeResult("l2", needs_upgrade=True)
+        return ProbeResult("l1" if code == 1 else "l2")
 
     def _l1_fill(self, l1: SetAssocArray, addr: int) -> None:
         l1.insert(l1.set_index(addr), addr, None)

@@ -42,6 +42,8 @@ class SetAssocArray:
             paper's sparse-directory policy, Table I).
     """
 
+    __slots__ = ("num_sets", "assoc", "replacement", "_sets")
+
     def __init__(self, num_sets: int, assoc: int, replacement: str = "lru") -> None:
         if num_sets <= 0 or assoc <= 0:
             raise ConfigError(

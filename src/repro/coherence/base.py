@@ -49,6 +49,22 @@ class NullCoverage:
 class BaseHome:
     """Shared state and helpers for all home controllers."""
 
+    __slots__ = (
+        "config",
+        "mesh",
+        "dram",
+        "cores",
+        "stats",
+        "traffic",
+        "recorder",
+        "coverage",
+        "tracer",
+        "num_banks",
+        "banks",
+        "_hit_latency_data",
+        "_hit_latency_tag",
+    )
+
     def __init__(
         self,
         config: SystemConfig,
@@ -73,6 +89,10 @@ class BaseHome:
         #: traced run installs a real one (see repro.telemetry).
         self.tracer = NULL_TRACER
         self.num_banks = config.num_banks
+        # Precomputed LLC hit latencies; these feed every _two_hop /
+        # _three_hop call on the transaction critical path.
+        self._hit_latency_tag = config.llc_tag_latency
+        self._hit_latency_data = config.llc_tag_latency + config.llc_data_latency
         self.banks = [
             LLCBank(
                 config.llc_sets_per_bank,
@@ -92,12 +112,13 @@ class BaseHome:
         return addr % self.num_banks
 
     def _llc_hit_latency(self, with_data: bool = True) -> int:
-        config = self.config
-        return config.llc_tag_latency + (config.llc_data_latency if with_data else 0)
+        return self._hit_latency_data if with_data else self._hit_latency_tag
 
     def _two_hop(self, core: int, home: int, with_data: bool = True) -> int:
         """Requester -> home -> requester latency, including LLC lookup."""
-        return 2 * self.mesh.latency(core, home) + self._llc_hit_latency(with_data)
+        return 2 * self.mesh.latency(core, home) + (
+            self._hit_latency_data if with_data else self._hit_latency_tag
+        )
 
     def _three_hop(
         self, core: int, home: int, target: int, llc_extra: int = 0
@@ -109,7 +130,7 @@ class BaseHome:
         """
         return (
             self.mesh.latency(core, home)
-            + self.config.llc_tag_latency
+            + self._hit_latency_tag
             + llc_extra
             + self.mesh.latency(home, target)
             + self.config.l2_latency

@@ -31,6 +31,8 @@ from repro.types import AccessKind, LLCState, PrivateState
 class InLLCHome(BaseHome):
     """Home node tracking coherence inside the LLC (no sparse directory)."""
 
+    __slots__ = ("tag_extended", "stra_limit")
+
     def __init__(self, config, mesh, dram, cores, stats, tag_extended=False) -> None:
         super().__init__(config, mesh, dram, cores, stats)
         self.tag_extended = tag_extended
@@ -430,6 +432,8 @@ class InLLCHome(BaseHome):
 
 class TinyHome(InLLCHome):
     """In-LLC tracking plus the tiny directory (and optional spilling)."""
+
+    __slots__ = ("tiny", "spill_enabled", "spill_policies")
 
     def __init__(
         self,

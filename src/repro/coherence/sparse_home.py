@@ -30,6 +30,8 @@ from repro.types import AccessKind, LLCState, PrivateState
 class SparseHome(BaseHome):
     """Baseline MESI home node with a sparse directory."""
 
+    __slots__ = ("directory",)
+
     def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
         super().__init__(config, mesh, dram, cores, stats)
         self.directory = directory
@@ -391,6 +393,8 @@ class SharedOnlyHome(SparseHome):
     owned again.
     """
 
+    __slots__ = ("_unbounded",)
+
     def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
         super().__init__(config, mesh, dram, cores, stats, directory)
         self._unbounded: "dict[int, CohInfo]" = {}
@@ -473,6 +477,8 @@ class SharedOnlyHome(SparseHome):
 
 class StashHome(SparseHome):
     """Stash directory: drop private entries, broadcast to recover."""
+
+    __slots__ = ("stash",)
 
     def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
         super().__init__(config, mesh, dram, cores, stats, directory)
@@ -566,6 +572,8 @@ class StashHome(SparseHome):
 
 class MgdHome(SparseHome):
     """Multi-grain directory home: region entries for private data."""
+
+    __slots__ = ("_region_hit",)
 
     def __init__(self, config, mesh, dram, cores, stats, directory) -> None:
         if not isinstance(directory, MultiGrainDirectory):

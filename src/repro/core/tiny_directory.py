@@ -57,6 +57,8 @@ class TinyEntry:
 class _TinySlice:
     """One per-LLC-bank slice: way-indexed sets plus gNRU state."""
 
+    __slots__ = ("num_sets", "assoc", "sets", "estimator")
+
     def __init__(
         self,
         num_sets: int,
@@ -125,6 +127,18 @@ class _TinySlice:
 
 class TinyDirectory:
     """The banked tiny directory."""
+
+    __slots__ = (
+        "policy",
+        "num_banks",
+        "entries_per_slice",
+        "_slices",
+        "hits",
+        "misses",
+        "allocations",
+        "evictions",
+        "declined",
+    )
 
     def __init__(
         self,

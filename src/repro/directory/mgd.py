@@ -49,8 +49,16 @@ class MultiGrainDirectory:
     _BLOCK = 0
     _REGION = 1
 
-    #: Structured trace sink; install_tracer swaps in a live tracer.
-    tracer = NULL_TRACER
+    __slots__ = (
+        "tracer",
+        "total_entries",
+        "num_banks",
+        "_slices",
+        "hits",
+        "misses",
+        "allocations",
+        "evictions",
+    )
 
     def __init__(
         self,
@@ -63,6 +71,8 @@ class MultiGrainDirectory:
                 f"MgD of {total_entries} entries cannot be split into "
                 f"{num_banks} slices"
             )
+        #: Structured trace sink; install_tracer swaps in a live tracer.
+        self.tracer = NULL_TRACER
         self.total_entries = total_entries
         self.num_banks = num_banks
         entries_per_slice = total_entries // num_banks

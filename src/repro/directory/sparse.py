@@ -25,8 +25,18 @@ FULLY_ASSOC_THRESHOLD = 16
 class SparseDirectory:
     """A banked sparse directory with NRU replacement."""
 
-    #: Structured trace sink; install_tracer swaps in a live tracer.
-    tracer = NULL_TRACER
+    __slots__ = (
+        "tracer",
+        "total_entries",
+        "num_banks",
+        "entries_per_slice",
+        "slice_assoc",
+        "_slices",
+        "hits",
+        "misses",
+        "allocations",
+        "evictions",
+    )
 
     def __init__(
         self,
@@ -40,6 +50,8 @@ class SparseDirectory:
                 f"directory of {total_entries} entries cannot be split into "
                 f"{num_banks} slices"
             )
+        #: Structured trace sink; install_tracer swaps in a live tracer.
+        self.tracer = NULL_TRACER
         self.total_entries = total_entries
         self.num_banks = num_banks
         entries_per_slice = total_entries // num_banks

@@ -20,6 +20,8 @@ from __future__ import annotations
 class StashState:
     """The set of privately cached blocks whose entries were dropped."""
 
+    __slots__ = ("_stashed", "stashed_total", "broadcasts")
+
     def __init__(self) -> None:
         self._stashed: "dict[int, int]" = {}
         self.stashed_total = 0

@@ -32,6 +32,8 @@ class _Entry:
 class _Slice:
     """One per-bank slice: ``ways`` arrays of ``rows`` entries each."""
 
+    __slots__ = ("ways", "rows", "hashes", "arrays")
+
     def __init__(self, ways: int, rows: int, hashes: "list[list[int]]") -> None:
         self.ways = ways
         self.rows = rows
@@ -118,8 +120,16 @@ class ZCacheDirectory:
     can use either interchangeably.
     """
 
-    #: Structured trace sink; install_tracer swaps in a live tracer.
-    tracer = NULL_TRACER
+    __slots__ = (
+        "tracer",
+        "total_entries",
+        "num_banks",
+        "_slices",
+        "hits",
+        "misses",
+        "allocations",
+        "evictions",
+    )
 
     def __init__(
         self,
@@ -133,6 +143,8 @@ class ZCacheDirectory:
                 f"Z-cache directory of {total_entries} entries is too small "
                 f"for {num_banks} banks x {ways} ways"
             )
+        #: Structured trace sink; install_tracer swaps in a live tracer.
+        self.tracer = NULL_TRACER
         self.total_entries = total_entries
         self.num_banks = num_banks
         rows = max(1, total_entries // (num_banks * ways))

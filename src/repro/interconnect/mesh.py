@@ -17,8 +17,19 @@ import math
 from repro.errors import ConfigError
 
 
+#: Largest mesh for which full distance/latency tables are precomputed
+#: (``num_tiles**2`` entries each; 2048 tiles -> 4M-entry tables). The
+#: paper's largest machine is 128 tiles, so the fallback to computed
+#: distances exists only for pathological configurations.
+_TABLE_TILE_LIMIT = 2048
+
+
 class Mesh2D:
     """A ``width x height`` mesh of tiles with XY-routing distances.
+
+    Distances and latencies between all tile pairs are precomputed into
+    flat tables at construction (the lookups are on the home-controller
+    critical path of every LLC transaction).
 
     Args:
         num_tiles: total number of tiles; must form a rectangle no more
@@ -29,6 +40,19 @@ class Mesh2D:
             top and bottom rows, matching the paper's "evenly distributed
             over the mesh" arrangement.
     """
+
+    __slots__ = (
+        "num_tiles",
+        "width",
+        "height",
+        "hop_cycles",
+        "num_memory_controllers",
+        "_mc_tiles",
+        "_mc_distance",
+        "_mc_latency",
+        "_distance_table",
+        "_latency_table",
+    )
 
     def __init__(
         self,
@@ -56,9 +80,23 @@ class Mesh2D:
         # Distance tables are tiny (num_tiles entries); precompute the
         # nearest-controller distance per tile.
         self._mc_distance = [
-            min(self.distance(tile, mc) for mc in self._mc_tiles)
+            min(self._computed_distance(tile, mc) for mc in self._mc_tiles)
             for tile in range(num_tiles)
         ]
+        self._mc_latency = [d * hop_cycles for d in self._mc_distance]
+        # Full pairwise tables, indexed [src * num_tiles + dst]. At the
+        # paper's scales (<= 128 tiles) these are at most 16K entries.
+        if num_tiles <= _TABLE_TILE_LIMIT:
+            table = [
+                self._computed_distance(src, dst)
+                for src in range(num_tiles)
+                for dst in range(num_tiles)
+            ]
+            self._distance_table = table
+            self._latency_table = [d * hop_cycles for d in table]
+        else:  # pragma: no cover - pathological configuration
+            self._distance_table = None
+            self._latency_table = None
 
     def _place_controllers(self, count: int) -> list:
         """Spread controllers across the top and bottom mesh rows."""
@@ -73,19 +111,26 @@ class Mesh2D:
         """Return the (x, y) coordinates of ``tile``."""
         return tile % self.width, tile // self.width
 
-    def distance(self, src: int, dst: int) -> int:
-        """Manhattan (XY-routing) hop count between two tiles."""
+    def _computed_distance(self, src: int, dst: int) -> int:
         sx, sy = self.coordinates(src)
         dx, dy = self.coordinates(dst)
         return abs(sx - dx) + abs(sy - dy)
 
+    def distance(self, src: int, dst: int) -> int:
+        """Manhattan (XY-routing) hop count between two tiles."""
+        if self._distance_table is not None:
+            return self._distance_table[src * self.num_tiles + dst]
+        return self._computed_distance(src, dst)  # pragma: no cover
+
     def latency(self, src: int, dst: int) -> int:
         """One-way message latency in core cycles between two tiles."""
-        return self.distance(src, dst) * self.hop_cycles
+        if self._latency_table is not None:
+            return self._latency_table[src * self.num_tiles + dst]
+        return self._computed_distance(src, dst) * self.hop_cycles  # pragma: no cover
 
     def memory_latency(self, tile: int) -> int:
         """One-way latency from ``tile`` to its nearest memory controller."""
-        return self._mc_distance[tile] * self.hop_cycles
+        return self._mc_latency[tile]
 
     @property
     def average_distance(self) -> float:

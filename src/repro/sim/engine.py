@@ -32,18 +32,26 @@ The loop also honours the harness deadline
 the armed wall-clock limit and raises
 :class:`~repro.errors.RunTimeoutError` once exceeded, which is what
 makes per-run timeouts work inside process-pool workers.
+
+The engine has two lanes over the same protocol code (see
+:mod:`repro.sim.fastpath`): unobserved runs take the fast lane, whose
+private-hit short circuit and batched counters produce statistics
+bit-identical to the reference lane; any observer (auditor, oracle,
+recovery, tracer, fault injector) or ``REPRO_FAST=off`` selects the
+reference lane.
 """
 
 from __future__ import annotations
 
 import heapq
 
-from repro.errors import InvariantViolation
+from repro.errors import InvariantViolation, ProtocolError, TraceError
 from repro.sim.deadline import CHECK_STRIDE, check_deadline
+from repro.sim.fastpath import fast_lane_from_env
 from repro.sim.stats import SimStats
 from repro.sim.system import System
 from repro.telemetry import NULL_TRACER, install_tracer
-from repro.types import Access
+from repro.types import Access, AccessKind, PrivateState
 
 
 class TraceEngine:
@@ -66,6 +74,7 @@ class TraceEngine:
         oracle=None,
         recovery=None,
         tracer=None,
+        fast_path: "bool | None" = None,
     ) -> None:
         if len(streams) > system.config.num_cores:
             raise ValueError(
@@ -80,6 +89,29 @@ class TraceEngine:
         self.oracle = oracle
         self.recovery = recovery
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fast-lane preference; None resolves from ``REPRO_FAST``.
+        self.fast_path = (
+            fast_lane_from_env() if fast_path is None else fast_path
+        )
+
+    def fast_lane_engaged(self) -> bool:
+        """True when this run will execute on the fast lane.
+
+        The fast lane only engages for *unobserved* runs: no auditor, no
+        value oracle, no recovery manager, no enabled tracer, and no
+        fault injector — each of those needs to see every individual
+        access, which the private-hit short circuit skips. Observed runs
+        silently fall back to the reference lane, so correctness tooling
+        never has to know the fast lane exists.
+        """
+        return (
+            self.fast_path
+            and self.auditor is None
+            and self.oracle is None
+            and self.recovery is None
+            and not self.tracer.enabled
+            and self.system.fault_injector is None
+        )
 
     def _audit(self, system) -> None:
         """One audit window, routed through recovery when enabled."""
@@ -99,6 +131,13 @@ class TraceEngine:
 
     def run(self) -> SimStats:
         """Run every stream to completion; returns finalized stats."""
+        if self.fast_lane_engaged():
+            return self._run_fast()
+        return self._run_reference()
+
+    def _run_reference(self) -> SimStats:
+        """The reference lane: full observer support, one
+        :meth:`System.access` call per access."""
         system = self.system
         auditor = self.auditor
         oracle = self.oracle
@@ -160,6 +199,12 @@ class TraceEngine:
             if warmup_left and processed == warmup_left:
                 system.stats.reset()
                 measure_start = finish
+                if tracer.enabled:
+                    tracer.emit(
+                        "measure:start",
+                        cycle=finish,
+                        warmup_accesses=processed,
+                    )
             index += 1
             if index < len(self.streams[core]):
                 heapq.heappush(heap, (done, core, index))
@@ -172,6 +217,183 @@ class TraceEngine:
             self.recovery.publish(stats)
         return stats
 
+    def _run_fast(self) -> SimStats:
+        """The fast lane: private hits short-circuit inside the loop.
+
+        Mirrors :meth:`repro.sim.system.System._access` exactly, but a
+        private hit costs two inlined LRU lookups and a handful of
+        local-variable updates — no ProbeResult allocation, no per-access
+        stats method calls, no home dispatch. The inlined lookup is the
+        literal twin of :meth:`PrivateCore.classify` (same recency
+        touches, same L1 promotion, same silent E->M upgrade, same
+        inclusion check); the bit-identity tests in
+        ``tests/test_fastpath.py`` pin the two against each other. The
+        batched counters commute with everything the miss path touches,
+        so flushing them at the warmup boundary and at end of trace
+        yields statistics bit-identical to the reference lane.
+        """
+        system = self.system
+        stats = system.stats
+        config = system.config
+        home = system.home
+        cores = system.cores
+        streams = self.streams
+        l1_latency = config.l1_latency
+        hit_latency = config.l1_latency + config.l2_latency
+        num_cores = config.num_cores
+        read_kind = AccessKind.READ
+        write_kind = AccessKind.WRITE
+        ifetch_kind = AccessKind.IFETCH
+        shared_state = PrivateState.SHARED
+        exclusive_state = PrivateState.EXCLUSIVE
+        modified_state = PrivateState.MODIFIED
+        handle_access = home.handle_access
+        handle_eviction = home.handle_private_eviction
+        on_outcome = stats.on_outcome
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        # Per-core lookup tables: (il1_sets, dl1_sets, l1_num_sets,
+        # l2_sets, l2_num_sets, core). The L1s share one geometry.
+        core_tables = [
+            (
+                core.il1._sets,
+                core.dl1._sets,
+                core.dl1.num_sets,
+                core.l2._sets,
+                core.l2.num_sets,
+                core,
+            )
+            for core in cores
+        ]
+        total = sum(len(stream) for stream in streams)
+        warmup_left = int(total * self.warmup_fraction)
+        if total and warmup_left >= total:
+            warmup_left = total - 1
+        heap = [
+            (0, core, 0)
+            for core, stream in enumerate(streams)
+            if stream
+        ]
+        heapq.heapify(heap)
+        finish = 0
+        measure_start = 0
+        processed = 0
+        # Batched access counters (flushed into stats below).
+        accesses = reads = writes = ifetches = l1_hits = l2_hits = 0
+        while heap:
+            clock, core_id, index = heappop(heap)
+            stream = streams[core_id]
+            acc = stream[index]
+            issue_time = clock + acc.gap
+            acc_core = acc.core
+            if not 0 <= acc_core < num_cores:
+                raise TraceError(
+                    f"access from core {acc_core} outside the system"
+                )
+            kind = acc.kind
+            accesses += 1
+            is_ifetch = False
+            if kind is read_kind:
+                reads += 1
+            elif kind is write_kind:
+                writes += 1
+            else:
+                ifetches += 1
+                is_ifetch = True
+            addr = acc.addr
+            il1_sets, dl1_sets, l1_num_sets, l2_sets, l2_num_sets, core = (
+                core_tables[acc_core]
+            )
+            # -- inlined PrivateCore.classify ---------------------------
+            lines = (il1_sets if is_ifetch else dl1_sets).get(
+                addr % l1_num_sets
+            )
+            l1_line = None
+            if lines:
+                for position, line in enumerate(lines):
+                    if line.tag == addr:
+                        if position != len(lines) - 1:
+                            del lines[position]
+                            lines.append(line)
+                        l1_line = line
+                        break
+            lines = l2_sets.get(addr % l2_num_sets)
+            l2_line = None
+            if lines:
+                for position, line in enumerate(lines):
+                    if line.tag == addr:
+                        if position != len(lines) - 1:
+                            del lines[position]
+                            lines.append(line)
+                        l2_line = line
+                        break
+            code = 0
+            if l2_line is None:
+                if l1_line is not None:
+                    raise ProtocolError(
+                        f"core {acc_core}: block {addr:#x} in L1 but not L2"
+                    )
+            else:
+                state = l2_line.payload
+                if kind is write_kind and state is shared_state:
+                    code = 3 if l1_line is not None else 4
+                else:
+                    if kind is write_kind and state is exclusive_state:
+                        l2_line.payload = modified_state
+                    if l1_line is not None:
+                        code = 1
+                    else:
+                        core._l1_fill(
+                            core.il1 if is_ifetch else core.dl1, addr
+                        )
+                        code = 2
+            # -- end inlined classify -----------------------------------
+            if code == 1:  # L1 hit
+                l1_hits += 1
+                latency = l1_latency
+            elif code == 2:  # L2 hit (promoted into the L1)
+                l2_hits += 1
+                latency = hit_latency
+            else:
+                upgrade = code >= 3
+                out = handle_access(acc_core, addr, kind, issue_time, upgrade)
+                on_outcome(kind, out)
+                if upgrade:
+                    core.complete_upgrade(addr)
+                    latency = l1_latency + out.latency
+                else:
+                    for notice in core.fill(addr, kind, out.fill_state):
+                        handle_eviction(
+                            acc_core, notice.addr, notice.state, issue_time
+                        )
+                    latency = hit_latency + out.latency
+            done = issue_time + latency
+            if done > finish:
+                finish = done
+            processed += 1
+            if processed % CHECK_STRIDE == 0:
+                check_deadline()
+            if warmup_left and processed == warmup_left:
+                # stats.reset() zeroes every counter, so the batch is
+                # dropped rather than flushed.
+                accesses = reads = writes = ifetches = 0
+                l1_hits = l2_hits = 0
+                stats.reset()
+                measure_start = finish
+            index += 1
+            if index < len(stream):
+                heappush(heap, (done, core_id, index))
+        stats.accesses += accesses
+        stats.reads += reads
+        stats.writes += writes
+        stats.ifetches += ifetches
+        stats.l1_hits += l1_hits
+        stats.l2_hits += l2_hits
+        system.access_index += processed
+        final = system.finalize()
+        final.cycles = max(0, finish - measure_start)
+        return final
+
 
 def run_trace(
     system: System,
@@ -181,6 +403,7 @@ def run_trace(
     oracle=None,
     recovery=None,
     tracer=None,
+    fast_path: "bool | None" = None,
 ) -> SimStats:
     """Convenience wrapper: run ``streams`` on ``system`` and return stats."""
     return TraceEngine(
@@ -191,4 +414,5 @@ def run_trace(
         oracle=oracle,
         recovery=recovery,
         tracer=tracer,
+        fast_path=fast_path,
     ).run()

@@ -1,0 +1,55 @@
+"""Fast-lane control for the simulation hot path.
+
+The trace engine has two execution lanes over the same protocol code:
+
+* The **reference lane** (:meth:`repro.sim.engine.TraceEngine.run`'s
+  classic loop) calls :meth:`repro.sim.system.System.access` per access
+  and supports every observer — auditor, value oracle, recovery manager,
+  structured tracer, fault injector.
+* The **fast lane** inlines the private-hit short circuit into the trace
+  loop: an access that hits the local private hierarchy with sufficient
+  permissions never allocates a transaction object, never dispatches to
+  the home controller, and batches its statistics in local variables.
+
+Both lanes produce bit-identical statistics (enforced by
+``tests/test_fastpath.py`` across all five schemes); the fast lane is
+therefore the default and disengages automatically whenever any observer
+needs to see individual accesses. ``REPRO_FAST=off`` forces the
+reference lane for A/B timing or debugging.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Environment variable selecting the engine lane: ``on`` (the default)
+#: lets eligible runs use the fast lane, ``off`` forces the reference
+#: lane everywhere.
+ENV_FAST = "REPRO_FAST"
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no"})
+_ON_VALUES = frozenset({"on", "1", "true", "yes"})
+
+
+def fast_lane_from_env(default: bool = True) -> bool:
+    """Resolve the fast-lane preference from ``REPRO_FAST``.
+
+    Returns ``default`` when the variable is unset or unrecognized (an
+    unrecognized value warns on stderr rather than failing the run, the
+    same convention as the other ``REPRO_*`` knobs).
+    """
+    raw = os.environ.get(ENV_FAST)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _OFF_VALUES:
+        return False
+    if value in _ON_VALUES:
+        return True
+    print(
+        f"repro: ignoring unrecognized {ENV_FAST}={raw!r} "
+        f"(expected on/off)",
+        file=sys.stderr,
+    )
+    return default

@@ -17,6 +17,7 @@ kind                      emitted from                           extra fields
 ========================  =====================================  ==========================
 ``txn:start``             ``repro.sim.engine``                   ``op``
 ``txn:finish``            ``repro.sim.engine``                   ``latency``
+``measure:start``         ``repro.sim.engine``                   ``warmup_accesses``
 ``inval``                 ``repro.coherence.base``               ``prior``
 ``back_inval``            ``repro.coherence`` home controllers   ``holders``
 ``dir:alloc``             ``repro.directory`` containers         ``grain`` (MgD only)
@@ -44,6 +45,7 @@ from __future__ import annotations
 EVENT_KINDS: "tuple[str, ...]" = (
     "txn:start",
     "txn:finish",
+    "measure:start",
     "inval",
     "back_inval",
     "dir:alloc",

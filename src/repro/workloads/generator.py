@@ -20,7 +20,10 @@ Generation is deterministic for a given (profile, config, seed).
 
 from __future__ import annotations
 
+import os
+import sys
 import zlib
+from collections import OrderedDict
 
 import numpy as np
 
@@ -267,15 +270,98 @@ class SyntheticTraceGenerator:
         return streams
 
 
+# ----------------------------------------------------------------------
+# Per-process trace cache
+# ----------------------------------------------------------------------
+
+#: Environment variable sizing the per-process trace cache: an integer
+#: capacity, or ``off``/``0`` to disable memoization entirely.
+ENV_TRACE_CACHE = "REPRO_TRACE_CACHE"
+
+_DEFAULT_CACHE_CAPACITY = 8
+
+_trace_cache: "OrderedDict[tuple, list]" = OrderedDict()
+_trace_cache_hits = 0
+_trace_cache_misses = 0
+
+
+def _cache_capacity() -> int:
+    raw = os.environ.get(ENV_TRACE_CACHE)
+    if raw is None:
+        return _DEFAULT_CACHE_CAPACITY
+    value = raw.strip().lower()
+    if value in ("off", "false", "no"):
+        return 0
+    try:
+        return max(0, int(value))
+    except ValueError:
+        print(
+            f"repro: ignoring unrecognized {ENV_TRACE_CACHE}={raw!r} "
+            f"(expected an integer or off)",
+            file=sys.stderr,
+        )
+        return _DEFAULT_CACHE_CAPACITY
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoized stream set and zero the hit/miss counters."""
+    global _trace_cache_hits, _trace_cache_misses
+    _trace_cache.clear()
+    _trace_cache_hits = 0
+    _trace_cache_misses = 0
+
+
+def trace_cache_stats() -> "dict[str, int]":
+    """Hit/miss/size counters of the per-process trace cache."""
+    return {
+        "hits": _trace_cache_hits,
+        "misses": _trace_cache_misses,
+        "entries": len(_trace_cache),
+    }
+
+
 def generate_streams(
     app: "WorkloadProfile | str",
     config: SystemConfig,
     total_accesses: int,
     seed: int = 0,
 ) -> "list[list[Access]]":
-    """One-call helper: build a generator and produce streams."""
+    """One-call helper: build a generator and produce streams.
+
+    Results are memoized per process (keyed on the profile, the config
+    fields generation depends on, the trace length, and the seed), so a
+    sweep revisiting the same (app, scale, seed) point reuses the exact
+    stream objects instead of regenerating them. Streams are treated as
+    immutable by every consumer — the engine only reads them — which is
+    what makes sharing the objects safe. Capacity is ``REPRO_TRACE_CACHE``
+    (default 8 entries, LRU; ``off`` disables caching).
+    """
+    global _trace_cache_hits, _trace_cache_misses
     from repro.workloads.profiles import profile as lookup
 
     if isinstance(app, str):
         app = lookup(app)
-    return SyntheticTraceGenerator(app, config, seed).generate(total_accesses)
+    capacity = _cache_capacity()
+    if capacity <= 0:
+        return SyntheticTraceGenerator(app, config, seed).generate(total_accesses)
+    # Generation depends only on the profile (frozen, hashable) and these
+    # derived config fields — see SyntheticTraceGenerator.__init__.
+    key = (
+        app,
+        config.num_cores,
+        config.l2_blocks,
+        config.llc_blocks,
+        total_accesses,
+        seed,
+    )
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        _trace_cache_hits += 1
+        _trace_cache.move_to_end(key)
+        return cached
+    _trace_cache_misses += 1
+    streams = SyntheticTraceGenerator(app, config, seed).generate(total_accesses)
+    _trace_cache[key] = streams
+    while len(_trace_cache) > capacity:
+        _trace_cache.popitem(last=False)
+    return streams

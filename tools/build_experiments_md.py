@@ -40,6 +40,22 @@ Table I (system configuration) is encoded as `SystemConfig.paper()` and
 validated by `tests/test_config.py`; Table II (applications) as
 `repro.workloads.profiles`, validated by `tests/test_workloads.py`.
 
+**Benchmarks quickstart.** Beyond the figures, the simulator's own
+speed is benchmarked by `benchmarks/bench_micro_hotpath.py` (fast lane
+vs. reference lane, trace cache vs. cold generation) and gated in CI
+against `benchmarks/baselines/` via `tools/compare_bench.py` — see
+`docs/performance.md`. The two engine lanes are pinned bit-identical:
+
+```python
+from repro import SparseSpec, System, SystemConfig, generate_streams, run_trace
+
+config = SystemConfig(num_cores=4, scheme=SparseSpec())
+streams = generate_streams("bodytrack", config, 2000, seed=7)
+reference = run_trace(System(config), streams, fast_path=False)
+fast = run_trace(System(config), streams, fast_path=True)
+assert fast.dump() == reference.dump()
+```
+
 ---
 """
 

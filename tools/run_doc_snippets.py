@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Execute every fenced ``python`` snippet in the documentation.
 
-Keeps the prose honest: each ```` ```python ```` block in ``README.md``
-and ``docs/*.md`` must be a self-contained program that runs clean
-against the current tree (generated ``docs/api/`` pages are exempt —
+Keeps the prose honest: each ```` ```python ```` block in ``README.md``,
+``EXPERIMENTS.md``, and ``docs/*.md`` must be a self-contained program
+that runs clean against the current tree (generated ``docs/api/`` pages
+are exempt —
 their snippets are docstring fragments, not programs). Each block runs
 in a fresh namespace, so an example cannot silently lean on state a
 previous example happened to leave behind.
@@ -61,7 +62,7 @@ def extract_blocks(path: pathlib.Path) -> "list[tuple[int, str]]":
 
 
 def doc_files() -> "list[pathlib.Path]":
-    files = [REPO / "README.md"]
+    files = [REPO / "README.md", REPO / "EXPERIMENTS.md"]
     files += sorted((REPO / "docs").glob("*.md"))
     return [f for f in files if f.exists()]
 
@@ -81,13 +82,13 @@ def run_block(path: pathlib.Path, lineno: int, code: str) -> "str | None":
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python tools/run_doc_snippets.py",
-        description="Run every fenced python snippet in README.md and docs/.",
+        description="Run every fenced python snippet in README.md, EXPERIMENTS.md, and docs/.",
     )
     parser.add_argument(
         "files",
         nargs="*",
         type=pathlib.Path,
-        help="markdown files to check (default: README.md and docs/*.md)",
+        help="markdown files to check (default: README.md, EXPERIMENTS.md, docs/*.md)",
     )
     args = parser.parse_args(argv)
 

@@ -20,6 +20,12 @@ numbers; within one address the report orders by ``(cycle, seq)``,
 which reconstructs each block's transaction history regardless of which
 worker emitted it.
 
+When the trace carries a ``measure:start`` event (the engine emits one
+at the warmup boundary, where statistics reset), the header reports the
+measurement-start cycle and each timeline gets a divider separating
+warmup events from measured ones. Merged multi-run traces may hold
+several such events; the divider uses the earliest.
+
 Exit status: 0 on success, 1 when the trace is missing or empty.
 """
 
@@ -93,6 +99,23 @@ def render(events, addrs=None, limit=5, per_addr=20) -> "list[str]":
     for kind, count in kinds.most_common():
         lines.append(f"  {kind:<{width}}  {count}")
 
+    measure_starts = sorted(
+        (e for e in events if e.kind == "measure:start"),
+        key=lambda e: (e.cycle if e.cycle is not None else -1, e.seq),
+    )
+    boundary = None
+    if measure_starts:
+        first = measure_starts[0]
+        boundary = first.cycle
+        warmup = first.data.get("warmup_accesses")
+        note = f" after {warmup} warmup accesses" if warmup is not None else ""
+        extra = (
+            f" (+{len(measure_starts) - 1} more runs)"
+            if len(measure_starts) > 1
+            else ""
+        )
+        lines.append(f"measurement starts @{boundary}{note}{extra}")
+
     if addrs:
         selected = [(addr, by_addr.get(addr, [])) for addr in addrs]
     else:
@@ -109,7 +132,17 @@ def render(events, addrs=None, limit=5, per_addr=20) -> "list[str]":
             key=lambda e: (e.cycle if e.cycle is not None else -1, e.seq),
         )
         shown = addr_events[:per_addr] if per_addr else addr_events
-        lines.extend(_event_line(event) for event in shown)
+        marked = False
+        for event in shown:
+            if (
+                not marked
+                and boundary is not None
+                and event.cycle is not None
+                and event.cycle >= boundary
+            ):
+                lines.append(f"  --- measurement starts @{boundary} ---")
+                marked = True
+            lines.append(_event_line(event))
         hidden = len(addr_events) - len(shown)
         if hidden > 0:
             lines.append(f"  ... {hidden} more")
