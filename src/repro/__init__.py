@@ -20,7 +20,8 @@ The package layers:
   substrates.
 * ``repro.sim`` — configuration, system assembly, trace engine, stats.
 * ``repro.workloads`` — synthetic traces for the seventeen Table II
-  applications.
+  applications, plus the versioned ``.rtrace`` capture format
+  (``repro.workloads.capture``) for recording and bit-identical replay.
 * ``repro.energy`` / ``repro.analysis`` — the energy model and the
   per-figure experiment harness.
 * ``repro.parallel`` — the supervised process-based sweep executor with
@@ -30,7 +31,8 @@ The package layers:
   detect/diagnose/repair/re-verify cycles driven by the protocol
   auditor (``RecoveryManager``); see ``docs/resilience.md``.
 * ``repro.verify`` — the protocol conformance subsystem: litmus tests,
-  the random-walk fuzzer with shrinking, transition coverage, and the
+  the random-walk fuzzer with shrinking, transition coverage, the
+  cross-scheme differential harness (``python -m repro diff``), and the
   ``python -m repro verify`` entry point; see ``docs/verification.md``.
 * ``repro.telemetry`` — structured transaction tracing (``TraceEvent``,
   ring/JSONL sinks), the metrics registry with phase timers, and
@@ -92,14 +94,24 @@ from repro.types import Access, AccessKind
 from repro.verify import (
     CoverageMap,
     ValueOracle,
+    diff_trace,
     fuzz_run,
+    replay_subtrace,
     run_litmus,
     run_schedule,
+)
+from repro.workloads.capture import (
+    TraceReader,
+    TraceWriter,
+    load_capture,
+    save_capture,
+    trace_fingerprint,
 )
 from repro.workloads.generator import (
     SyntheticTraceGenerator,
     clear_trace_cache,
     generate_streams,
+    load_streams,
     trace_cache_stats,
 )
 from repro.workloads.profiles import APPLICATIONS, PROFILES, WorkloadProfile, profile
@@ -137,23 +149,29 @@ __all__ = [
     "TinySpec",
     "TraceEngine",
     "TraceEvent",
+    "TraceReader",
+    "TraceWriter",
     "Tracer",
     "ValueOracle",
     "WorkloadProfile",
     "cached_run",
     "clear_trace_cache",
     "collect_points",
+    "diff_trace",
     "fast_lane_from_env",
     "fuzz_run",
     "generate_streams",
     "harness",
     "install_tracer",
+    "load_capture",
+    "load_streams",
     "merge_snapshots",
     "merge_worker_traces",
     "metrics_from_env",
     "profile",
     "read_trace",
     "recovery_from_env",
+    "replay_subtrace",
     "run_app",
     "run_app_guarded",
     "run_litmus",
@@ -161,8 +179,10 @@ __all__ = [
     "run_sweep",
     "run_tasks",
     "run_trace",
+    "save_capture",
     "scale_from_env",
     "trace_cache_stats",
+    "trace_fingerprint",
     "tracer_from_env",
     "write_bench_point",
     "__version__",

@@ -13,11 +13,18 @@ Usage::
     python -m repro fig13 --profile
     python -m repro fig10 --trace --metrics
     python -m repro verify --fuzz --steps 2000 --seed 7
+    python -m repro diff --trace tests/corpus --bisect
 
 ``verify`` dispatches to the protocol conformance runner (litmus
 tests, random-walk fuzzing with shrinking, fault-detection checks,
 transition coverage); see ``docs/verification.md`` and
 ``python -m repro verify --help``.
+
+``diff`` dispatches to the cross-scheme differential harness: record
+``.rtrace`` captures, replay them through every scheme, check
+architectural agreement and stat tolerances, and bisect divergences to
+minimal replayable sub-traces; see ``docs/verification.md`` and
+``python -m repro diff --help``.
 
 Each figure is printed as a text table (the same output the benchmark
 harness produces). Results are cached under ``.repro_cache/``.
@@ -243,6 +250,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from repro.verify.diff_cli import main as diff_main
+
+        return diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for name, (fn, extra) in FIGURES.items():

@@ -14,6 +14,13 @@ idle:
   the home controllers, used both to steer the fuzzer and to assert a
   coverage floor in CI.
 
+A fourth part, :mod:`repro.verify.differential`, replays durable
+``.rtrace`` captures (see :mod:`repro.workloads.capture`) through every
+scheme, checks cross-scheme architectural agreement and stat-delta
+tolerances, and prefix-bisects divergences to minimal replayable
+sub-traces; entry point ``python -m repro diff``
+(:mod:`repro.verify.diff_cli`).
+
 Entry point: ``python -m repro verify`` (:mod:`repro.verify.cli`).
 """
 
@@ -23,6 +30,16 @@ from repro.verify.coverage import (
     NullCoverage,
     coverage_fraction,
     render_coverage_table,
+)
+from repro.verify.differential import (
+    ALL_SCHEMES,
+    MonitoredRun,
+    bisect_divergence,
+    diff_trace,
+    replay_subtrace,
+    run_monitored,
+    tolerance_for,
+    truncate_streams,
 )
 from repro.verify.fuzzer import FuzzResult, ddmin, fault_plan_for, fuzz_run, fuzz_task
 from repro.verify.harness import (
@@ -62,6 +79,14 @@ from repro.verify.steps import (
 )
 
 __all__ = [
+    "ALL_SCHEMES",
+    "MonitoredRun",
+    "bisect_divergence",
+    "diff_trace",
+    "replay_subtrace",
+    "run_monitored",
+    "tolerance_for",
+    "truncate_streams",
     "KNOWN_TRANSITIONS",
     "CoverageMap",
     "NullCoverage",

@@ -7,7 +7,18 @@ from repro.workloads.profiles import (
     APPLICATIONS,
     profile,
 )
-from repro.workloads.generator import SyntheticTraceGenerator, generate_streams
+from repro.workloads.generator import (
+    SyntheticTraceGenerator,
+    generate_streams,
+    load_streams,
+)
+from repro.workloads.capture import (
+    TraceReader,
+    TraceWriter,
+    load_capture,
+    save_capture,
+    trace_fingerprint,
+)
 
 __all__ = [
     "WorkloadProfile",
@@ -15,5 +26,11 @@ __all__ = [
     "APPLICATIONS",
     "profile",
     "SyntheticTraceGenerator",
+    "TraceReader",
+    "TraceWriter",
     "generate_streams",
+    "load_capture",
+    "load_streams",
+    "save_capture",
+    "trace_fingerprint",
 ]

@@ -1,0 +1,296 @@
+"""Property-based tests (hypothesis) on the ``.rtrace`` capture format.
+
+The format's contract is simple to state and worth pinning hard: any
+per-core access streams round-trip bit-exactly through save/load, and
+any structurally damaged file — truncated anywhere, wrong magic, wrong
+version, corrupt header — is rejected with :class:`TraceError`, never
+decoded into silently wrong streams.
+"""
+
+import json
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.types import Access, AccessKind
+from repro.workloads.capture import (
+    CAPTURE_VERSION,
+    MAGIC,
+    TraceReader,
+    TraceWriter,
+    _read_varint,
+    _unzigzag,
+    _write_varint,
+    _zigzag,
+    load_capture,
+    profile_from_header,
+    save_capture,
+    trace_fingerprint,
+)
+from repro.workloads.profiles import profile
+
+FORMAT = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+kinds = st.sampled_from([AccessKind.READ, AccessKind.WRITE, AccessKind.IFETCH])
+
+# Addresses span the generator's real regions (up to ~2^37) plus small
+# values, so zigzag deltas cover multi-byte varints in both directions.
+record_strategy = st.tuples(
+    st.integers(min_value=0, max_value=1 << 38),
+    kinds,
+    st.integers(min_value=0, max_value=500),
+)
+
+streams_strategy = st.integers(min_value=1, max_value=4).flatmap(
+    lambda cores: st.lists(
+        st.lists(record_strategy, min_size=0, max_size=60),
+        min_size=cores,
+        max_size=cores,
+    )
+)
+
+
+def build_streams(raw):
+    return [
+        [Access(core, addr, kind, gap) for addr, kind, gap in stream]
+        for core, stream in enumerate(raw)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Encoding primitives
+# ----------------------------------------------------------------------
+
+@given(value=st.integers(min_value=-(1 << 62), max_value=1 << 62))
+def test_zigzag_round_trip(value):
+    folded = _zigzag(value)
+    assert folded >= 0
+    assert _unzigzag(folded) == value
+
+
+@given(value=st.integers(min_value=0, max_value=1 << 70))
+def test_varint_round_trip(value):
+    buf = bytearray()
+    _write_varint(buf, value)
+    decoded, pos = _read_varint(bytes(buf), 0)
+    assert decoded == value
+    assert pos == len(buf)
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(TraceError):
+        _write_varint(bytearray(), -1)
+
+
+def test_varint_rejects_truncation():
+    buf = bytearray()
+    _write_varint(buf, 1 << 40)
+    with pytest.raises(TraceError, match="truncated varint"):
+        _read_varint(bytes(buf[:-1]), 0)
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+
+@FORMAT
+@given(raw=streams_strategy)
+def test_round_trip_arbitrary_streams(raw, tmp_path):
+    streams = build_streams(raw)
+    path = tmp_path / "trace.rtrace"
+    save_capture(path, streams, seed=3)
+    loaded, header = load_capture(path)
+    assert loaded == streams
+    assert header["num_cores"] == len(streams)
+    assert header["seed"] == 3
+    assert header["format_version"] == CAPTURE_VERSION
+
+
+def test_round_trip_empty_streams(tmp_path):
+    path = tmp_path / "empty.rtrace"
+    streams = [[], [], []]
+    save_capture(path, streams)
+    loaded, header = load_capture(path)
+    assert loaded == streams
+    assert header["num_cores"] == 3
+
+
+def test_round_trip_single_access(tmp_path):
+    path = tmp_path / "one.rtrace"
+    streams = [[Access(0, 123456789, AccessKind.WRITE, 7)]]
+    save_capture(path, streams)
+    loaded, _header = load_capture(path)
+    assert loaded == streams
+
+
+def test_header_provenance_round_trip(tmp_path):
+    path = tmp_path / "prov.rtrace"
+    app = profile("barnes")
+    save_capture(
+        path,
+        [[Access(0, 1, AccessKind.READ, 0)]],
+        profile=app,
+        seed=9,
+        total_accesses=1,
+        geometry={"num_cores": 1, "l1_kb": 1, "l2_kb": 4},
+        meta={"note": "hello"},
+    )
+    _streams, header = load_capture(path)
+    assert profile_from_header(header) == app
+    assert header["seed"] == 9
+    assert header["total_accesses"] == 1
+    assert header["geometry"] == {"num_cores": 1, "l1_kb": 1, "l2_kb": 4}
+    assert header["meta"] == {"note": "hello"}
+
+
+# ----------------------------------------------------------------------
+# Damage rejection
+# ----------------------------------------------------------------------
+
+@FORMAT
+@given(raw=streams_strategy, cut=st.floats(min_value=0.0, max_value=1.0))
+def test_any_truncation_is_rejected(raw, cut, tmp_path):
+    streams = build_streams(raw)
+    path = tmp_path / "whole.rtrace"
+    save_capture(path, streams)
+    blob = path.read_bytes()
+    keep = min(int(len(blob) * cut), len(blob) - 1)
+    broken = tmp_path / "broken.rtrace"
+    broken.write_bytes(blob[:keep])
+    with pytest.raises(TraceError):
+        load_capture(broken)
+
+
+def test_bad_magic_is_rejected(tmp_path):
+    path = tmp_path / "bad.rtrace"
+    good = tmp_path / "good.rtrace"
+    save_capture(good, [[Access(0, 1, AccessKind.READ, 0)]])
+    blob = good.read_bytes()
+    path.write_bytes(b"NOPE" + blob[len(MAGIC):])
+    with pytest.raises(TraceError, match="bad magic"):
+        load_capture(path)
+
+
+def test_future_version_is_rejected(tmp_path):
+    path = tmp_path / "future.rtrace"
+    good = tmp_path / "good.rtrace"
+    save_capture(good, [[Access(0, 1, AccessKind.READ, 0)]])
+    blob = good.read_bytes()
+    future = (CAPTURE_VERSION + 1).to_bytes(2, "big")
+    path.write_bytes(blob[:4] + future + blob[6:])
+    with pytest.raises(TraceError, match="format version"):
+        load_capture(path)
+
+
+def test_corrupt_header_is_rejected(tmp_path):
+    path = tmp_path / "header.rtrace"
+    junk = zlib.compress(b"not json at all")
+    path.write_bytes(
+        MAGIC
+        + CAPTURE_VERSION.to_bytes(2, "big")
+        + len(junk).to_bytes(4, "big")
+        + junk
+    )
+    with pytest.raises(TraceError, match="corrupt header"):
+        load_capture(path)
+
+
+def test_invalid_core_count_is_rejected(tmp_path):
+    path = tmp_path / "cores.rtrace"
+    header = zlib.compress(
+        json.dumps({"format_version": CAPTURE_VERSION, "num_cores": 0}).encode()
+    )
+    path.write_bytes(
+        MAGIC
+        + CAPTURE_VERSION.to_bytes(2, "big")
+        + len(header).to_bytes(4, "big")
+        + header
+    )
+    with pytest.raises(TraceError, match="core count"):
+        load_capture(path)
+
+
+def test_missing_file_is_a_trace_error(tmp_path):
+    with pytest.raises(TraceError, match="cannot read"):
+        load_capture(tmp_path / "nope.rtrace")
+
+
+# ----------------------------------------------------------------------
+# Writer discipline
+# ----------------------------------------------------------------------
+
+def test_writer_enforces_core_order(tmp_path):
+    writer = TraceWriter(tmp_path / "order.rtrace", 2)
+    with pytest.raises(TraceError, match="core order"):
+        writer.write_stream(1, [])
+    writer._abort()
+
+
+def test_writer_rejects_foreign_access(tmp_path):
+    writer = TraceWriter(tmp_path / "foreign.rtrace", 2)
+    with pytest.raises(TraceError, match="issued by core"):
+        writer.write_stream(0, [Access(1, 5, AccessKind.READ, 0)])
+    writer._abort()
+
+
+def test_writer_rejects_negative_gap(tmp_path):
+    writer = TraceWriter(tmp_path / "gap.rtrace", 1)
+    with pytest.raises(TraceError, match="negative access gap"):
+        writer.write_stream(0, [Access(0, 5, AccessKind.READ, -1)])
+    writer._abort()
+
+
+def test_incomplete_writer_leaves_no_file(tmp_path):
+    path = tmp_path / "partial.rtrace"
+    writer = TraceWriter(path, 4)
+    writer.write_stream(0, [])
+    with pytest.raises(TraceError, match="core frames"):
+        writer.close()
+    assert not path.exists()
+    assert not path.with_name(path.name + ".tmp").exists()
+
+
+def test_writer_context_manager_cleans_up_on_error(tmp_path):
+    path = tmp_path / "ctx.rtrace"
+    with pytest.raises(RuntimeError):
+        with TraceWriter(path, 2) as writer:
+            writer.write_stream(0, [])
+            raise RuntimeError("boom")
+    assert not path.exists()
+    assert not path.with_name(path.name + ".tmp").exists()
+
+
+def test_reader_streams_in_core_order(tmp_path):
+    path = tmp_path / "ordered.rtrace"
+    streams = [
+        [Access(0, 10, AccessKind.READ, 0)],
+        [],
+        [Access(2, 20, AccessKind.WRITE, 1)],
+    ]
+    save_capture(path, streams)
+    with TraceReader(path) as reader:
+        cores = [core for core, _stream in reader.streams()]
+    assert cores == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def test_fingerprint_tracks_content_not_path(tmp_path):
+    a = tmp_path / "a.rtrace"
+    b = tmp_path / "b.rtrace"
+    save_capture(a, [[Access(0, 1, AccessKind.READ, 0)]], seed=1)
+    save_capture(b, [[Access(0, 1, AccessKind.READ, 0)]], seed=1)
+    assert trace_fingerprint(a) == trace_fingerprint(b)
+    save_capture(b, [[Access(0, 2, AccessKind.READ, 0)]], seed=1)
+    assert trace_fingerprint(a) != trace_fingerprint(b)

@@ -105,8 +105,30 @@ def test_stale_documented_flag_detected(checker):
         "| `--alpha` | a |\n| `--beta-two` | b |\n"
         "| `--gamma` | removed long ago |\n"
     )
-    problems = module.check_flags(*PAIR)
+    problems = module.check_stale_flags()
     assert any("--gamma" in p and "no longer" in p for p in problems)
+
+
+def test_two_parsers_sharing_one_doc_do_not_cross_flag(checker, monkeypatch):
+    # The verify and diff CLIs both document into docs/verification.md;
+    # a row defined by either parser is not stale for the other.
+    module, root = checker
+    other = root / "src" / "repro" / "other_cli.py"
+    other.write_text(
+        "import argparse\n"
+        "p = argparse.ArgumentParser()\n"
+        "p.add_argument('--gamma')\n"
+    )
+    (root / "docs" / "harness.md").write_text(
+        "| `--alpha` | a |\n| `--beta-two` | b |\n| `--gamma` | other's |\n"
+    )
+    monkeypatch.setattr(
+        module,
+        "FLAG_PAIRS",
+        [PAIR, ("src/repro/other_cli.py", "docs/harness.md")],
+    )
+    assert module.check_stale_flags() == []
+    assert module.check_flags(*PAIR) == []
 
 
 def test_missing_doc_reported(checker):

@@ -1,0 +1,249 @@
+"""Golden replay over the committed scenario corpus.
+
+Three layers of pinning on ``tests/corpus/*.rtrace``:
+
+* **freshness** — every committed capture decodes to exactly the streams
+  its scenario definition generates today (the fast in-process version
+  of ``tools/rebuild_corpus.py --check``);
+* **golden stats** — each scenario × scheme cell pins cycles, LLC
+  misses, and invalidations in ``tests/snapshots/corpus_stats.json``;
+  refresh intended changes with::
+
+      python -m pytest tests/test_corpus_golden.py --update-snapshots
+
+* **bit-identical replay** — a run fed by ``REPRO_TRACE_FILE`` publishes
+  byte-identical statistics to the live seeded run that recorded the
+  trace, for every scheme with the fast lane both on and off.
+
+Plus the trace-cache regression: the per-process cache keys replayed
+traces on *file identity* (path + content hash), so overwriting a trace
+in place or calling :func:`clear_trace_cache` can never serve stale
+streams.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import run_trace
+from repro.sim.system import System
+from repro.types import Access, AccessKind
+from repro.verify.differential import ALL_SCHEMES
+from repro.verify.reproducer import default_verify_spec
+from repro.workloads.capture import load_capture, save_capture
+from repro.workloads.generator import (
+    ENV_TRACE_FILE,
+    clear_trace_cache,
+    generate_streams,
+    load_streams,
+    trace_cache_stats,
+)
+from repro.workloads.scenarios import SCENARIOS, scenario_streams
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+SNAPSHOT_PATH = Path(__file__).parent / "snapshots" / "corpus_stats.json"
+
+#: The counters each corpus cell pins. Raw values, not hashes: a golden
+#: mismatch should show the reviewer the magnitude of the change.
+PINNED = ("cycles", "llc_misses", "invalidations")
+
+
+def corpus_path(name: str) -> Path:
+    path = CORPUS_DIR / f"{name}.rtrace"
+    assert path.exists(), (
+        f"missing corpus capture {path}; regenerate with "
+        "`python tools/rebuild_corpus.py`"
+    )
+    return path
+
+
+def replay_config(header: dict, scheme: str) -> SystemConfig:
+    geometry = header["geometry"]
+    return SystemConfig(
+        num_cores=geometry["num_cores"],
+        l1_kb=geometry["l1_kb"],
+        l2_kb=geometry["l2_kb"],
+        scheme=default_verify_spec(scheme),
+    )
+
+
+def stats_blob(config: SystemConfig, streams, fast_path: bool) -> str:
+    stats = run_trace(
+        System(config), streams, warmup_fraction=0.0, fast_path=fast_path
+    )
+    return json.dumps(stats.dump(), sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Freshness
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_corpus_capture_is_fresh(name):
+    streams, header = load_capture(corpus_path(name))
+    scenario = SCENARIOS[name]
+    assert streams == scenario_streams(scenario), (
+        f"{name}.rtrace is stale; rerun tools/rebuild_corpus.py"
+    )
+    assert header["seed"] == scenario.seed
+    assert header["geometry"] == scenario.geometry()
+    assert header["meta"]["scenario"] == name
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_corpus_capture_stays_in_budget(name):
+    assert corpus_path(name).stat().st_size <= 50 * 1024
+
+
+# ----------------------------------------------------------------------
+# Golden stats grid
+# ----------------------------------------------------------------------
+
+def _compute_grid() -> "dict[str, dict[str, int]]":
+    grid = {}
+    for name in sorted(SCENARIOS):
+        streams, header = load_capture(corpus_path(name))
+        for scheme in ALL_SCHEMES:
+            config = replay_config(header, scheme)
+            stats = run_trace(System(config), streams, warmup_fraction=0.0)
+            scalars = stats.dump()["scalars"]
+            grid[f"{name}/{scheme}"] = {key: scalars[key] for key in PINNED}
+    return grid
+
+
+def test_corpus_grid_matches_snapshot(update_snapshots):
+    grid = _compute_grid()
+    if update_snapshots:
+        SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(json.dumps(grid, indent=2, sort_keys=True) + "\n")
+        pytest.skip("snapshots updated")
+    assert SNAPSHOT_PATH.exists(), (
+        "missing golden snapshot; generate it with "
+        "`python -m pytest tests/test_corpus_golden.py --update-snapshots`"
+    )
+    golden = json.loads(SNAPSHOT_PATH.read_text())
+    assert set(grid) == set(golden), "snapshot grid shape changed"
+    mismatched = {
+        key: (golden[key], grid[key])
+        for key in grid
+        if grid[key] != golden[key]
+    }
+    assert not mismatched, (
+        f"corpus statistics changed: {mismatched}; if intended, refresh "
+        "with --update-snapshots"
+    )
+
+
+# ----------------------------------------------------------------------
+# Bit-identical replay
+# ----------------------------------------------------------------------
+
+def test_replay_is_bit_identical_across_lanes(monkeypatch):
+    """REPRO_TRACE_FILE replay == live generation, byte for byte.
+
+    The acceptance criterion of the record/replay pipeline: for a corpus
+    trace, every scheme's published statistics dump is byte-identical
+    between the live seeded run and the replayed run, with the fast lane
+    both on and off.
+    """
+    name = "private-heavy"
+    scenario = SCENARIOS[name]
+    path = corpus_path(name)
+    live_streams = scenario_streams(scenario)
+
+    clear_trace_cache()
+    monkeypatch.setenv(ENV_TRACE_FILE, str(path))
+    # The app/accesses/seed arguments are decoys: with REPRO_TRACE_FILE
+    # set, generate_streams must replay the capture and nothing else.
+    replayed = generate_streams("barnes", scenario.config(), 999, seed=999)
+    monkeypatch.delenv(ENV_TRACE_FILE)
+    assert replayed == live_streams
+
+    for scheme in ALL_SCHEMES:
+        for fast_path in (False, True):
+            config = scenario.config()
+            config = SystemConfig(
+                num_cores=config.num_cores,
+                l1_kb=config.l1_kb,
+                l2_kb=config.l2_kb,
+                scheme=default_verify_spec(scheme),
+            )
+            live = stats_blob(config, live_streams, fast_path)
+            again = stats_blob(config, replayed, fast_path)
+            assert live == again, (
+                f"replayed stats differ for {scheme} "
+                f"(fast_path={fast_path})"
+            )
+
+
+def test_replay_rejects_geometry_mismatch(monkeypatch):
+    path = corpus_path("private-heavy")
+    clear_trace_cache()
+    monkeypatch.setenv(ENV_TRACE_FILE, str(path))
+    from repro.errors import TraceError
+
+    with pytest.raises(TraceError, match="cores"):
+        generate_streams(
+            "barnes", SystemConfig(num_cores=4, l1_kb=1, l2_kb=4), 100
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace-cache file identity (regression)
+# ----------------------------------------------------------------------
+
+def _toy_capture(path, addr):
+    save_capture(
+        path,
+        [
+            [Access(0, addr, AccessKind.READ, 0)],
+            [Access(1, addr + 1, AccessKind.WRITE, 0)],
+        ],
+    )
+    return path
+
+
+def test_cache_keys_on_content_not_just_path(tmp_path, monkeypatch):
+    """Overwriting a trace at the same path must never serve stale streams."""
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    config = SystemConfig(num_cores=2, l1_kb=1, l2_kb=4)
+    path = tmp_path / "same-name.rtrace"
+    clear_trace_cache()
+
+    _toy_capture(path, addr=100)
+    first = load_streams(path, config)
+    assert first[0][0].addr == 100
+    # Warm: same content is a cache hit, same objects.
+    assert load_streams(path, config) is first
+    assert trace_cache_stats()["hits"] == 1
+
+    _toy_capture(path, addr=200)
+    second = load_streams(path, config)
+    assert second[0][0].addr == 200, "stale cache entry served after overwrite"
+    assert second is not first
+
+
+def test_clear_trace_cache_resets_replay_entries(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    config = SystemConfig(num_cores=2, l1_kb=1, l2_kb=4)
+    path = _toy_capture(tmp_path / "t.rtrace", addr=5)
+    clear_trace_cache()
+
+    streams = load_streams(path, config)
+    assert trace_cache_stats() == {"hits": 0, "misses": 1, "entries": 1}
+    clear_trace_cache()
+    assert trace_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+    # A fresh load after the clear re-reads the file and still agrees.
+    assert load_streams(path, config) == streams
+    assert trace_cache_stats()["misses"] == 1
+
+
+def test_cache_disabled_still_replays_correctly(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    config = SystemConfig(num_cores=2, l1_kb=1, l2_kb=4)
+    path = _toy_capture(tmp_path / "nocache.rtrace", addr=9)
+    clear_trace_cache()
+    assert load_streams(path, config)[0][0].addr == 9
+    assert trace_cache_stats()["entries"] == 0

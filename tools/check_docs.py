@@ -39,6 +39,7 @@ FLAG_PAIRS = [
     ("src/repro/__main__.py", "docs/telemetry.md",
      ("--trace", "--trace-out", "--metrics")),
     ("src/repro/verify/cli.py", "docs/verification.md"),
+    ("src/repro/verify/diff_cli.py", "docs/verification.md"),
 ]
 
 #: ``REPRO_*`` environment variables that are implementation plumbing,
@@ -119,20 +120,56 @@ def check_flags(
             problems.append(
                 f"{doc_rel}: CLI flag {flag} ({module_rel}) is undocumented"
             )
+    return problems
+
+
+def documented_flags(doc: pathlib.Path) -> "set[str]":
+    """Flags appearing as rows of the doc's CLI flag table(s)."""
     documented = set()
-    for line in doc_text.splitlines():
+    for line in doc.read_text().splitlines():
         match = _FLAG_ROW.match(line.strip())
         if match:
             documented.add(match.group(1))
-    if only is not None:
-        # A restricted pair only owns its subset; other rows in the doc
-        # belong to (and are checked against) their own pair.
-        documented &= set(only)
-    for flag in sorted(documented - defined):
-        problems.append(
-            f"{doc_rel}: flag {flag} is documented but no longer "
-            f"defined in {module_rel}"
+    return documented
+
+
+def check_stale_flags() -> "list[str]":
+    """Every documented flag row must still exist in *some* paired parser.
+
+    Checked per doc rather than per pair: two parsers may share one doc
+    (e.g. the verify and diff CLIs both live in ``docs/verification.md``),
+    so a row is stale only when no parser paired with that doc defines
+    it. Docs paired only through restricted subsets keep the old rule:
+    rows outside the union of subsets belong to no pair here and are
+    ignored.
+    """
+    per_doc: "dict[str, dict]" = {}
+    for pair in FLAG_PAIRS:
+        module_rel, doc_rel = pair[0], pair[1]
+        only = pair[2] if len(pair) > 2 else None
+        module = REPO / module_rel
+        if not module.exists() or not (REPO / doc_rel).exists():
+            continue  # reported by check_flags
+        entry = per_doc.setdefault(
+            doc_rel, {"defined": set(), "subsets": set(), "unrestricted": False}
         )
+        flags = parser_flags(module)
+        if only is None:
+            entry["unrestricted"] = True
+            entry["defined"] |= flags
+        else:
+            entry["defined"] |= flags & set(only)
+            entry["subsets"] |= set(only)
+    problems = []
+    for doc_rel, entry in sorted(per_doc.items()):
+        documented = documented_flags(REPO / doc_rel)
+        if not entry["unrestricted"]:
+            documented &= entry["subsets"]
+        for flag in sorted(documented - entry["defined"]):
+            problems.append(
+                f"{doc_rel}: flag {flag} is documented but no longer "
+                f"defined in any parser paired with this doc"
+            )
     return problems
 
 
@@ -169,6 +206,7 @@ def main() -> int:
     problems += check_env_vars()
     for pair in FLAG_PAIRS:
         problems += check_flags(*pair)
+    problems += check_stale_flags()
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Regenerate or staleness-check the committed differential corpus.
+
+The corpus under ``tests/corpus/`` is five committed ``.rtrace``
+captures, one per scenario in :mod:`repro.workloads.scenarios`. They are
+generated deterministically from (profile, geometry, seed), so this tool
+can always verify the committed artifacts against the source of truth:
+
+* ``python tools/rebuild_corpus.py`` — (re)write every corpus file;
+* ``python tools/rebuild_corpus.py --check`` — regenerate in memory and
+  fail (exit 1) if any committed capture decodes to different streams or
+  provenance than the current scenario definitions produce, is missing,
+  or exceeds the 50 KB size budget. Comparison is over *decoded
+  content*, never raw bytes, so a zlib implementation change can't fake
+  a staleness failure.
+
+Run from the repo root (or anywhere; paths are repo-relative). CI runs
+``--check`` in the differential-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.workloads.capture import load_capture  # noqa: E402
+from repro.workloads.scenarios import (  # noqa: E402
+    SCENARIOS,
+    record_scenario,
+    scenario_streams,
+)
+
+CORPUS_DIR = REPO / "tests" / "corpus"
+
+#: Hard per-file size budget (bytes); the corpus must stay clone-cheap.
+MAX_BYTES = 50 * 1024
+
+
+def check_one(scenario, path: pathlib.Path) -> "list[str]":
+    problems = []
+    if not path.exists():
+        return [f"{path.name}: missing (run tools/rebuild_corpus.py)"]
+    size = path.stat().st_size
+    if size > MAX_BYTES:
+        problems.append(f"{path.name}: {size} bytes exceeds the 50 KB budget")
+    try:
+        streams, header = load_capture(path)
+    except Exception as err:  # TraceError or worse: report, don't crash
+        return problems + [f"{path.name}: unreadable ({err})"]
+    expected = scenario_streams(scenario)
+    if streams != expected:
+        problems.append(
+            f"{path.name}: decoded streams differ from the current "
+            f"scenario definition (stale; run tools/rebuild_corpus.py)"
+        )
+    if header.get("seed") != scenario.seed:
+        problems.append(
+            f"{path.name}: header seed {header.get('seed')} != "
+            f"{scenario.seed}"
+        )
+    if header.get("geometry") != scenario.geometry():
+        problems.append(f"{path.name}: header geometry drifted")
+    meta = header.get("meta") or {}
+    if meta.get("scenario") != scenario.name:
+        problems.append(f"{path.name}: header scenario name drifted")
+    profile = header.get("profile") or {}
+    if profile.get("name") != scenario.profile.name:
+        problems.append(f"{path.name}: header profile name drifted")
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed corpus instead of rewriting it",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="restrict to the named scenario(s)",
+    )
+    args = parser.parse_args(argv)
+    names = args.only or sorted(SCENARIOS)
+    problems: "list[str]" = []
+    for name in names:
+        scenario = SCENARIOS[name]
+        path = CORPUS_DIR / f"{name}.rtrace"
+        if args.check:
+            problems += check_one(scenario, path)
+        else:
+            record_scenario(scenario, path)
+            size = path.stat().st_size
+            total = sum(len(s) for s in scenario_streams(scenario))
+            print(f"wrote {path.relative_to(REPO)}: {total} accesses, {size} bytes")
+            if size > MAX_BYTES:
+                problems.append(
+                    f"{path.name}: {size} bytes exceeds the 50 KB budget"
+                )
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"rebuild_corpus: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"rebuild_corpus: OK ({len(names)} scenario(s) fresh)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
