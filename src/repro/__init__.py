@@ -37,6 +37,10 @@ The package layers:
 * ``repro.telemetry`` — structured transaction tracing (``TraceEvent``,
   ring/JSONL sinks), the metrics registry with phase timers, and
   ``BENCH_*.json`` perf-baseline emission; see ``docs/telemetry.md``.
+* ``repro.guard`` — resource governance: declarative run budgets with a
+  sampling watchdog (``RunBudget``, ``guard_scope``), sweep
+  backpressure (``PressureMonitor``), disk preflight/quota/retention,
+  and graceful SIGINT/SIGTERM shutdown; see ``docs/resilience.md``.
 
 The full documented public surface is re-exported here; see
 ``docs/architecture.md`` for the module map.
@@ -51,6 +55,17 @@ from repro.analysis.runner import (
     run_app,
     run_app_guarded,
     scale_from_env,
+)
+from repro.guard import (
+    PressureMonitor,
+    PressurePolicy,
+    RunBudget,
+    Watchdog,
+    budget_from_env,
+    check_watchdog,
+    graceful_scope,
+    guard_scope,
+    resume_hint,
 )
 from repro.parallel import (
     RunProfile,
@@ -129,9 +144,12 @@ __all__ = [
     "MetricsRegistry",
     "MgdSpec",
     "PROFILES",
+    "PressureMonitor",
+    "PressurePolicy",
     "RecoveryManager",
     "RecoveryPolicy",
     "RingBufferSink",
+    "RunBudget",
     "RunFailure",
     "RunProfile",
     "RunResult",
@@ -153,14 +171,19 @@ __all__ = [
     "TraceWriter",
     "Tracer",
     "ValueOracle",
+    "Watchdog",
     "WorkloadProfile",
+    "budget_from_env",
     "cached_run",
+    "check_watchdog",
     "clear_trace_cache",
     "collect_points",
     "diff_trace",
     "fast_lane_from_env",
     "fuzz_run",
     "generate_streams",
+    "graceful_scope",
+    "guard_scope",
     "harness",
     "install_tracer",
     "load_capture",
@@ -172,6 +195,7 @@ __all__ = [
     "read_trace",
     "recovery_from_env",
     "replay_subtrace",
+    "resume_hint",
     "run_app",
     "run_app_guarded",
     "run_litmus",

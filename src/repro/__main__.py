@@ -14,6 +14,7 @@ Usage::
     python -m repro fig10 --trace --metrics
     python -m repro verify --fuzz --steps 2000 --seed 7
     python -m repro diff --trace tests/corpus --bisect
+    python -m repro soak --quick
 
 ``verify`` dispatches to the protocol conformance runner (litmus
 tests, random-walk fuzzing with shrinking, fault-detection checks,
@@ -25,6 +26,11 @@ transition coverage); see ``docs/verification.md`` and
 architectural agreement and stat tolerances, and bisect divergences to
 minimal replayable sub-traces; see ``docs/verification.md`` and
 ``python -m repro diff --help``.
+
+``soak`` dispatches to the resource-governance soak harness: randomized
+sweeps under injected resource pressure (tight budgets, tiny disk
+quotas, mid-sweep interrupts) asserting the recovery invariants of
+``docs/resilience.md``; see ``python -m repro soak --help``.
 
 Each figure is printed as a text table (the same output the benchmark
 harness produces). Results are cached under ``.repro_cache/``.
@@ -60,6 +66,13 @@ import sys
 from repro.analysis import experiments
 from repro.analysis.cache import cache_dir, cache_enabled
 from repro.analysis.runner import HarnessPolicy, RunScale, harness
+from repro.errors import ShutdownRequested
+from repro.guard import (
+    EXIT_INTERRUPTED,
+    graceful_scope,
+    preflight,
+    resume_hint,
+)
 from repro.parallel import (
     SweepJournal,
     collect_points,
@@ -254,6 +267,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.verify.diff_cli import main as diff_main
 
         return diff_main(argv[1:])
+    if argv and argv[0] == "soak":
+        from repro.guard.soak import main as soak_main
+
+        return soak_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for name, (fn, extra) in FIGURES.items():
@@ -288,27 +305,42 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     jobs = resolve_jobs(args.jobs)
     failed_figures = []
-    with harness(policy):
-        if (jobs > 1 or args.profile or args.resume) and cache_enabled():
-            _prewarm(names, scale, args, policy, jobs)
-        for name in names:
-            fn, extra = FIGURES[name]
-            kwargs = {"apps": args.apps} if args.apps else {}
-            if name == "fig03z":
-                kwargs["zcache"] = True
-            seen = len(policy.failures)
-            try:
-                figure = fn(*extra, scale, **kwargs)
-            except Exception as err:  # noqa: BLE001 - sweep boundary
-                if not args.keep_going:
-                    raise
-                failed_figures.append(name)
-                print(f"{name}: FAILED ({type(err).__name__}: {err})")
+    artifact_dirs = [cache_dir()] if cache_enabled() else []
+    bench_dir = os.environ.get("REPRO_BENCH_DIR", "").strip()
+    if bench_dir:
+        artifact_dirs.append(bench_dir)
+    preflight(artifact_dirs)
+    try:
+        with graceful_scope(), harness(policy):
+            if (jobs > 1 or args.profile or args.resume) and cache_enabled():
+                _prewarm(names, scale, args, policy, jobs)
+            for name in names:
+                fn, extra = FIGURES[name]
+                kwargs = {"apps": args.apps} if args.apps else {}
+                if name == "fig03z":
+                    kwargs["zcache"] = True
+                seen = len(policy.failures)
+                try:
+                    figure = fn(*extra, scale, **kwargs)
+                except Exception as err:  # noqa: BLE001 - sweep boundary
+                    if not args.keep_going:
+                        raise
+                    failed_figures.append(name)
+                    print(f"{name}: FAILED ({type(err).__name__}: {err})")
+                    print()
+                    continue
+                figure.failures.extend(policy.failures[seen:])
+                print(figure.render())
                 print()
-                continue
-            figure.failures.extend(policy.failures[seen:])
-            print(figure.render())
-            print()
+    except ShutdownRequested as shutdown:
+        # Everything already computed is journaled (and cached); tell
+        # the operator how to pick the sweep back up, and exit with the
+        # distinct "interrupted, resumable" code.
+        print(f"\nrepro: {shutdown}", file=sys.stderr)
+        if cache_enabled():
+            journal_path = cache_dir() / SweepJournal.FILENAME
+            print(resume_hint(journal_path, argv), file=sys.stderr)
+        return EXIT_INTERRUPTED
     if policy.failures or failed_figures:
         print(
             f"{len(policy.failures)} run(s) failed"

@@ -13,7 +13,11 @@ The cache is crash-safe: entries are written to a temporary file and
 published with an atomic ``os.replace``, so a killed sweep never leaves
 a truncated JSON behind. If a corrupt entry is found anyway (e.g.
 written by an older version), it is quarantined as ``<entry>.bad`` and
-the run recomputed instead of aborting the whole figure. Atomic
+the run recomputed instead of aborting the whole figure; quarantine is
+bounded to the newest ``REPRO_CACHE_BAD_KEEP`` files (default 32).
+Writes honour the ``REPRO_DISK_QUOTA`` artifact budget (oldest entries
+pruned to make room) and degrade to uncached on ``ENOSPC`` instead of
+crashing — see :mod:`repro.guard`. Atomic
 publication also makes the cache safe under *concurrent* writers: the
 :mod:`repro.parallel` sweep executor routes every completed point
 through this module, and two processes racing on the same point both
@@ -40,6 +44,7 @@ import hashlib
 import json
 import os
 import pathlib
+import sys
 import tempfile
 
 from repro.analysis.runner import (
@@ -48,6 +53,8 @@ from repro.analysis.runner import (
     active_policy,
     run_app_guarded,
 )
+from repro.errors import ArtifactWriteError
+from repro.guard import quota as disk_quota
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 
@@ -84,6 +91,14 @@ def _key(app: str, scheme, scale: RunScale) -> str:
         # never poisons the deterministic cache (tracing does not alter
         # the dump and needs no key component).
         payload += f"|metrics={metrics}"
+    wall = os.environ.get("REPRO_BUDGET_WALL", "").strip()
+    rss = os.environ.get("REPRO_BUDGET_RSS", "").strip()
+    if wall or rss:
+        # Budgeted runs may publish a (wall-clock) stats.guard pressure
+        # section; keep them apart from clean entries for the same
+        # reason as metrics runs. REPRO_DISK_QUOTA never alters a
+        # result's content and needs no key component.
+        payload += f"|budget={wall}/{rss}"
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
@@ -187,35 +202,103 @@ def _load_entry(path: pathlib.Path) -> "RunResult | None":
         return None
 
 
-def _quarantine(path: pathlib.Path) -> None:
-    """Move a corrupt entry aside as ``<entry>.bad`` for post-mortems."""
+#: Default number of quarantined ``.bad`` entries kept for post-mortems.
+DEFAULT_BAD_KEEP = 32
+
+
+def _bad_keep() -> int:
+    """The ``.bad`` retention cap (``REPRO_CACHE_BAD_KEEP``, default 32).
+
+    ``0`` disables quarantine retention entirely (corrupt entries are
+    simply deleted); invalid values warn on stderr and fall back to the
+    default — never a silent misconfiguration.
+    """
+    raw = os.environ.get("REPRO_CACHE_BAD_KEEP", "").strip()
+    if not raw:
+        return DEFAULT_BAD_KEEP
     try:
-        os.replace(path, path.with_suffix(path.suffix + ".bad"))
+        keep = int(raw)
+    except ValueError:
+        keep = -1
+    if keep < 0:
+        print(
+            f"repro: ignoring invalid REPRO_CACHE_BAD_KEEP={raw!r} (expected "
+            f"an integer >= 0); keeping the default of {DEFAULT_BAD_KEEP}",
+            file=sys.stderr,
+        )
+        return DEFAULT_BAD_KEEP
+    return keep
+
+
+def _quarantine(path: pathlib.Path) -> None:
+    """Move a corrupt entry aside as ``<entry>.bad`` for post-mortems.
+
+    Quarantine is bounded: only the newest :func:`_bad_keep` ``.bad``
+    files are retained (oldest pruned on every quarantine), so a
+    recurring corruption source cannot grow the cache directory without
+    limit.
+    """
+    keep = _bad_keep()
+    try:
+        if keep == 0:
+            os.unlink(path)
+        else:
+            os.replace(path, path.with_suffix(path.suffix + ".bad"))
     except OSError:
         # Racing process already moved/removed it; recomputing is enough.
         pass
+    if keep:
+        disk_quota.prune_matching(path.parent, ("*.json.bad",), keep=keep)
 
 
 def _store_entry(path: pathlib.Path, result: RunResult) -> None:
-    """Atomically publish ``result`` at ``path`` (temp file + replace)."""
+    """Atomically publish ``result`` at ``path`` (temp file + replace).
+
+    Honours the ``REPRO_DISK_QUOTA`` artifact budget: oldest cache
+    entries (and quarantined ``.bad`` files) are pruned until the new
+    entry fits, and an entry that cannot fit at all is skipped via
+    :class:`~repro.errors.ArtifactWriteError` — as is any ``OSError``
+    (typically ``ENOSPC``) during the write, after removing the partial
+    temp file so no ``*.tmp`` litter survives a full disk.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "app": result.app,
         "scheme": result.scheme,
         "stats": result.stats.dump(),
     }
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.stem, suffix=".tmp"
-    )
+    encoded = json.dumps(payload)
+    if not disk_quota.make_room(
+        path.parent, len(encoded), disk_quota.disk_quota_mb()
+    ):
+        raise ArtifactWriteError(
+            f"cache entry {path.name} ({len(encoded)} bytes) does not fit "
+            f"the REPRO_DISK_QUOTA budget; run left uncached",
+            path=str(path),
+        )
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+    except OSError as err:
+        raise ArtifactWriteError(
+            f"cannot create cache temp file in {path.parent}: {err}",
+            path=str(path),
+        ) from err
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+            handle.write(encoded)
         os.replace(tmp_name, path)
-    except BaseException:
+    except BaseException as err:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
+        if isinstance(err, OSError):
+            raise ArtifactWriteError(
+                f"cannot publish cache entry {path.name}: {err}",
+                path=str(path),
+            ) from err
         raise
 
 
@@ -250,5 +333,11 @@ def cached_run(app: str, scheme, scale: "RunScale | None" = None) -> RunResult:
         return cached
     result = run_app_guarded(app, scheme, scale)
     if not result.meta.get("failed"):
-        _store_entry(path, result)
+        try:
+            _store_entry(path, result)
+        except ArtifactWriteError as err:
+            # A full disk (or an exhausted quota) degrades the run to
+            # uncached instead of discarding a finished simulation.
+            print(f"repro: cache write skipped: {err}", file=sys.stderr)
+            result.meta["uncached"] = True
     return result

@@ -16,6 +16,8 @@ import contextlib
 import os
 from dataclasses import dataclass, field
 
+from repro.guard.budget import budget_from_env
+from repro.guard.watchdog import guard_scope
 from repro.recovery import recovery_from_env
 from repro.resilience.auditor import ProtocolAuditor, auditor_from_env
 from repro.resilience.faults import injector_from_env
@@ -125,29 +127,42 @@ def run_app(
         config = scale.make_config(scheme)
     metrics = metrics_from_env()
     tracer = tracer_from_env()
-    with phase(metrics, "generate"):
-        streams = generate_streams(
-            app, config, scale.total_accesses, seed=scale.seed
-        )
-    injector = injector_from_env()
-    system = System(config, fault_injector=injector)
-    auditor = auditor_from_env()
-    recovery = recovery_from_env()
-    if recovery is not None and auditor is None:
-        # Recovery can only act at audit windows; turn detection on.
-        auditor = ProtocolAuditor()
-    try:
-        with phase(metrics, "simulate"):
-            stats = run_trace(
-                system,
-                streams,
-                auditor=auditor,
-                recovery=recovery,
-                tracer=tracer,
+    with guard_scope(budget_from_env()) as watchdog:
+        with phase(metrics, "generate"):
+            streams = generate_streams(
+                app, config, scale.total_accesses, seed=scale.seed
             )
-    finally:
-        if tracer is not None:
-            tracer.close()
+        injector = injector_from_env()
+        system = System(config, fault_injector=injector)
+        auditor = auditor_from_env()
+        recovery = recovery_from_env()
+        if recovery is not None and auditor is None:
+            # Recovery can only act at audit windows; turn detection on.
+            auditor = ProtocolAuditor()
+        try:
+            with phase(metrics, "simulate"):
+                stats = run_trace(
+                    system,
+                    streams,
+                    auditor=auditor,
+                    recovery=recovery,
+                    tracer=tracer,
+                )
+        finally:
+            if tracer is not None:
+                if watchdog is not None:
+                    for resource, observed, limit in watchdog.pressure_events:
+                        tracer.emit(
+                            "guard:pressure",
+                            resource=resource,
+                            observed=round(observed, 3),
+                            limit=limit,
+                        )
+                tracer.close()
+    if watchdog is not None:
+        # Degraded-mode provenance: published only when the run came
+        # under pressure, so unpressured guarded runs stay bit-identical.
+        watchdog.publish(stats)
     if metrics is not None:
         _harvest_metrics(metrics, stats, scheme, tracer)
         metrics.publish(stats)

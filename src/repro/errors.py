@@ -102,6 +102,68 @@ class RunTimeoutError(ReproError):
     """A single simulation exceeded the harness per-run timeout."""
 
 
+class BudgetExceeded(ReproError):
+    """A run blew through a declared resource budget.
+
+    Raised by the :mod:`repro.guard` watchdog when a sampled resource
+    (wall clock, process RSS, artifact-disk bytes) crosses its
+    :class:`~repro.guard.budget.RunBudget` limit. Carries the resource
+    kind plus the observed and budgeted values, so a sweep report can
+    say exactly *which* budget a failed point hit. Flows through the
+    harness like any run failure: under ``keep_going`` it becomes a
+    :class:`~repro.analysis.runner.RunFailure` record instead of a
+    traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str = "unknown",
+        observed: "float | None" = None,
+        limit: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.observed = observed
+        self.limit = limit
+
+
+class ArtifactWriteError(ReproError):
+    """An artifact (cache entry, journal record, trace capture) could
+    not be durably written — most commonly ``ENOSPC``.
+
+    Raised instead of a raw :class:`OSError` by the artifact writers in
+    :mod:`repro.analysis.cache`, :mod:`repro.parallel.journal`, and
+    :mod:`repro.workloads.capture` after cleaning up their partial
+    temporary files, so a full disk degrades a run (skipped cache
+    entry, disabled journaling) instead of littering ``*.tmp`` files
+    and killing the sweep with an opaque traceback.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class ShutdownRequested(BaseException):
+    """The operator asked the process to stop (SIGINT/SIGTERM).
+
+    Deliberately a :class:`BaseException` — like ``KeyboardInterrupt``
+    — so the harness's ``keep_going`` machinery can never swallow an
+    operator interrupt as just another failed run. Raised by the signal
+    handlers :func:`repro.guard.shutdown.graceful_scope` installs; the
+    sweep executor unwinds cleanly (journal already holds every
+    completed point) and the CLIs exit with
+    :data:`repro.guard.shutdown.EXIT_INTERRUPTED` after printing a
+    ``--resume`` hint.
+    """
+
+    def __init__(self, signum: "int | None" = None) -> None:
+        super().__init__(f"shutdown requested (signal {signum})")
+        self.signum = signum
+
+
 class WorkerCrashError(ReproError):
     """A sweep worker process died (or hung) while computing a point.
 

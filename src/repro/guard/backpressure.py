@@ -1,0 +1,224 @@
+"""Adaptive worker-count backpressure for the sweep executor.
+
+:func:`repro.parallel.executor.run_sweep` keeps at most ``jobs`` points
+in flight. A :class:`PressureMonitor` between scheduling rounds watches
+two aggregate signals — the summed RSS of the live pool workers and the
+free headroom of the artifact volume — and adaptively shrinks the
+*effective* job count when either crosses its high-water mark, then
+restores it one step at a time once pressure clears. The pool itself is
+never rebuilt; throttling only bounds how many points are submitted
+concurrently, so results (which are keyed by submission index) stay
+bit-identical to an unthrottled sweep.
+
+Every decision is recorded as a :class:`ThrottleEvent` and surfaces in
+the :class:`~repro.parallel.profiling.SweepSummary` and the sweep
+report's ``guard`` section; a throttled sweep can therefore never pass
+itself off as a clean one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.guard.quota import DEFAULT_MIN_FREE_MB, free_mb
+from repro.guard.watchdog import process_rss_mb
+
+
+@dataclass(frozen=True)
+class ThrottleEvent:
+    """One backpressure decision of a sweep."""
+
+    #: Seconds since the sweep started.
+    at_s: float
+    #: ``"throttle"`` (shrink) or ``"restore"`` (grow).
+    action: str
+    #: Which signal drove it: ``"rss"``, ``"disk"`` (throttle only),
+    #: or ``"clear"`` (restore).
+    reason: str
+    jobs_from: int
+    jobs_to: int
+    #: The observed aggregate value (MB of RSS, or MB free disk).
+    observed: float
+    #: The limit the observation was compared against.
+    limit: float
+
+    def to_dict(self) -> dict:
+        return {
+            "at_s": round(self.at_s, 3),
+            "action": self.action,
+            "reason": self.reason,
+            "jobs_from": self.jobs_from,
+            "jobs_to": self.jobs_to,
+            "observed": round(self.observed, 3),
+            "limit": round(self.limit, 3),
+        }
+
+
+@dataclass(frozen=True)
+class PressurePolicy:
+    """Thresholds for sweep backpressure.
+
+    ``rss_mb`` is the *aggregate* budget across all pool workers —
+    :func:`pressure_from_env` derives it as the per-worker
+    ``REPRO_BUDGET_RSS`` times the worker count, so one knob governs
+    both the per-run watchdog and the sweep-level throttle.
+    """
+
+    #: Aggregate worker-RSS budget in MB; None disables the RSS signal.
+    rss_mb: "float | None" = None
+    #: Free-disk floor (MB) on the artifact volume; None disables.
+    disk_floor_mb: "float | None" = None
+    #: Fraction of ``rss_mb`` above which the sweep throttles.
+    high_water: float = 0.85
+    #: Fraction of ``rss_mb`` below which the sweep restores.
+    low_water: float = 0.60
+    #: Throttling never goes below this many in-flight points.
+    min_jobs: int = 1
+    #: Minimum seconds between two pressure samples.
+    sample_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_water < self.high_water <= 1.0:
+            raise ValueError("need 0 < low_water < high_water <= 1")
+        if self.min_jobs < 1:
+            raise ValueError("min_jobs must be >= 1")
+
+    @property
+    def armed(self) -> bool:
+        return self.rss_mb is not None or self.disk_floor_mb is not None
+
+
+def pressure_from_env(jobs: int) -> "PressurePolicy | None":
+    """The sweep's :class:`PressurePolicy`, derived from the budgets.
+
+    Armed when ``REPRO_BUDGET_RSS`` (aggregate = per-worker value ×
+    ``jobs``) or ``REPRO_DISK_QUOTA`` (disk floor =
+    :data:`~repro.guard.quota.DEFAULT_MIN_FREE_MB`) is set; None
+    otherwise, which keeps the executor's scheduling loop free of any
+    sampling cost.
+    """
+    from repro.guard.budget import budget_from_env
+
+    budget = budget_from_env()
+    rss_mb = None if budget.rss_mb is None else budget.rss_mb * max(1, jobs)
+    disk_floor = None if budget.disk_mb is None else DEFAULT_MIN_FREE_MB
+    if rss_mb is None and disk_floor is None:
+        return None
+    return PressurePolicy(rss_mb=rss_mb, disk_floor_mb=disk_floor)
+
+
+class PressureMonitor:
+    """Tracks pressure and adapts the effective job count of one sweep."""
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: PressurePolicy,
+        *,
+        rss_reader=process_rss_mb,
+        free_reader=free_mb,
+        clock=time.monotonic,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.policy = policy
+        self.effective_jobs = self.jobs
+        self.min_effective_jobs = self.jobs
+        self.events: "list[ThrottleEvent]" = []
+        self.samples = 0
+        self._rss_reader = rss_reader
+        self._free_reader = free_reader
+        self._clock = clock
+        self._started = clock()
+        self._next_sample = self._started
+
+    # ------------------------------------------------------------------
+
+    def aggregate_rss_mb(self, worker_pids) -> float:
+        """Summed RSS of the live pool workers (missing pids skipped)."""
+        total = 0.0
+        for pid in worker_pids:
+            rss = self._rss_reader(pid)
+            if rss is not None:
+                total += rss
+        return total
+
+    def _record(self, action, reason, jobs_to, observed, limit) -> None:
+        self.events.append(
+            ThrottleEvent(
+                at_s=self._clock() - self._started,
+                action=action,
+                reason=reason,
+                jobs_from=self.effective_jobs,
+                jobs_to=jobs_to,
+                observed=observed,
+                limit=limit,
+            )
+        )
+        self.effective_jobs = jobs_to
+        if jobs_to < self.min_effective_jobs:
+            self.min_effective_jobs = jobs_to
+
+    def update(self, worker_pids, artifact_dir) -> int:
+        """One scheduling-round sample; returns the effective job count.
+
+        Throttling halves the effective count (never below
+        ``min_jobs``); once both signals are back under the low-water
+        mark the count is restored one step per sample, so a recovered
+        machine ramps back up without oscillating.
+        """
+        now = self._clock()
+        if now < self._next_sample:
+            return self.effective_jobs
+        self._next_sample = now + self.policy.sample_interval_s
+        self.samples += 1
+        policy = self.policy
+        rss = None
+        if policy.rss_mb is not None:
+            rss = self.aggregate_rss_mb(worker_pids)
+            if rss > policy.rss_mb * policy.high_water:
+                shrunk = max(policy.min_jobs, self.effective_jobs // 2)
+                if shrunk < self.effective_jobs:
+                    self._record("throttle", "rss", shrunk, rss, policy.rss_mb)
+                return self.effective_jobs
+        headroom = None
+        if policy.disk_floor_mb is not None:
+            headroom = self._free_reader(artifact_dir)
+            if headroom is not None and headroom < policy.disk_floor_mb:
+                shrunk = max(policy.min_jobs, self.effective_jobs // 2)
+                if shrunk < self.effective_jobs:
+                    self._record(
+                        "throttle", "disk", shrunk, headroom,
+                        policy.disk_floor_mb,
+                    )
+                return self.effective_jobs
+        if self.effective_jobs < self.jobs:
+            rss_clear = (
+                policy.rss_mb is None
+                or (rss is not None and rss < policy.rss_mb * policy.low_water)
+            )
+            disk_clear = (
+                policy.disk_floor_mb is None
+                or headroom is None
+                or headroom >= policy.disk_floor_mb
+            )
+            if rss_clear and disk_clear:
+                self._record(
+                    "restore", "clear", self.effective_jobs + 1,
+                    rss if rss is not None else (headroom or 0.0),
+                    policy.rss_mb or policy.disk_floor_mb or 0.0,
+                )
+        return self.effective_jobs
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The sweep-level ``guard`` provenance (empty when untouched)."""
+        if not self.events:
+            return {}
+        return {
+            "throttle_events": [event.to_dict() for event in self.events],
+            "min_effective_jobs": self.min_effective_jobs,
+            "jobs": self.jobs,
+            "samples": self.samples,
+        }

@@ -1,0 +1,168 @@
+"""Disk preflight, artifact-directory quotas, and retention pruning.
+
+Every artifact directory the harness writes — the result cache,
+``.rtrace`` captures, sweep journals, ``REPRO_BENCH_DIR`` perf points —
+shares one failure mode: the disk fills up mid-sweep and a raw
+``OSError`` kills hours of work. This module gives the writers three
+defenses:
+
+* :func:`preflight` — warn (loudly, once per directory) before a sweep
+  when the volume holding an artifact directory is low on space, so
+  the operator hears about pressure before the first ``ENOSPC``;
+* :func:`make_room` — enforce the ``REPRO_DISK_QUOTA`` budget by
+  retention: oldest prunable artifacts are deleted until the incoming
+  write fits, and when even an empty directory could not hold it the
+  caller is told to skip the write (degrade, never crash);
+* :func:`prune_matching` — the shared newest-N retention primitive
+  (also used by the ``.bad`` quarantine cap in
+  :mod:`repro.analysis.cache`).
+
+Quota accounting is per artifact directory, not per volume: the quota
+bounds what *this harness* writes, so a shared CI disk filling up with
+someone else's bytes still surfaces through :func:`preflight` rather
+than through surprise pruning.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import sys
+
+#: Free-space floor (MB) below which :func:`preflight` warns.
+DEFAULT_MIN_FREE_MB = 64.0
+
+#: Directories already warned about this process (avoid log spam).
+_WARNED: "set[str]" = set()
+
+
+def dir_usage_bytes(path: "pathlib.Path | str") -> int:
+    """Total bytes of regular files under ``path`` (0 when absent)."""
+    total = 0
+    for root, _dirs, files in os.walk(path):
+        for name in files:
+            try:
+                total += os.lstat(os.path.join(root, name)).st_size
+            except OSError:
+                continue
+    return total
+
+
+def free_mb(path: "pathlib.Path | str") -> "float | None":
+    """Free megabytes on the volume holding ``path`` (None if unknown)."""
+    probe = pathlib.Path(path)
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            return None
+        probe = parent
+    try:
+        return shutil.disk_usage(probe).free / (1024.0 * 1024.0)
+    except OSError:
+        return None
+
+
+def preflight(
+    paths, min_free_mb: float = DEFAULT_MIN_FREE_MB, stream=None
+) -> "list[str]":
+    """Warn when any artifact path's volume is low on space.
+
+    Returns the warning lines (also printed to ``stream``, default
+    stderr, once per directory per process). Never raises: a low disk
+    is the operator's decision to act on, and the quota machinery keeps
+    the harness itself from making it worse.
+    """
+    stream = stream if stream is not None else sys.stderr
+    warnings = []
+    for path in paths:
+        key = os.fspath(path)
+        headroom = free_mb(path)
+        if headroom is not None and headroom < min_free_mb:
+            line = (
+                f"repro: low disk for artifact dir {key}: "
+                f"{headroom:.0f} MB free (< {min_free_mb:g} MB); sweeps "
+                f"will degrade (skipped cache writes) when the disk fills"
+            )
+            warnings.append(line)
+            if key not in _WARNED:
+                _WARNED.add(key)
+                print(line, file=stream)
+    return warnings
+
+
+def prune_matching(
+    directory: "pathlib.Path | str",
+    patterns: "tuple[str, ...]",
+    keep: "int | None" = None,
+    budget_bytes: "int | None" = None,
+) -> "list[pathlib.Path]":
+    """Delete oldest files matching ``patterns`` beyond the retention.
+
+    Files are ranked newest-first by mtime; everything past ``keep``
+    entries (when given) or past ``budget_bytes`` cumulative size (when
+    given) is unlinked. Returns the pruned paths. Racing deleters are
+    tolerated — a file that vanished mid-prune counts as pruned.
+    """
+    directory = pathlib.Path(directory)
+    candidates = []
+    for pattern in patterns:
+        candidates.extend(directory.glob(pattern))
+    ranked = []
+    for path in set(candidates):
+        try:
+            stat = path.lstat()
+        except OSError:
+            continue
+        ranked.append((stat.st_mtime, stat.st_size, path))
+    ranked.sort(key=lambda item: item[0], reverse=True)
+    pruned = []
+    running = 0
+    for index, (_mtime, size, path) in enumerate(ranked):
+        running += size
+        over_count = keep is not None and index >= keep
+        over_bytes = budget_bytes is not None and running > budget_bytes
+        if not over_count and not over_bytes:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        pruned.append(path)
+    return pruned
+
+
+def make_room(
+    directory: "pathlib.Path | str",
+    incoming_bytes: int,
+    quota_mb: "float | None",
+    patterns: "tuple[str, ...]" = ("*.json.bad", "*.json"),
+) -> bool:
+    """Fit an ``incoming_bytes`` write under the directory quota.
+
+    With no quota this is a no-op returning True. Otherwise oldest
+    artifacts matching ``patterns`` are pruned until the directory plus
+    the incoming write fits; returns False when even an empty directory
+    could not hold it (the caller skips the write — degraded, not
+    dead). Non-matching files (journals, foreign artifacts) are never
+    touched.
+    """
+    if quota_mb is None:
+        return True
+    quota_bytes = int(quota_mb * 1024 * 1024)
+    if incoming_bytes > quota_bytes:
+        return False
+    used = dir_usage_bytes(directory)
+    if used + incoming_bytes <= quota_bytes:
+        return True
+    prune_matching(
+        directory, patterns, budget_bytes=quota_bytes - incoming_bytes
+    )
+    return dir_usage_bytes(directory) + incoming_bytes <= quota_bytes
+
+
+def disk_quota_mb() -> "float | None":
+    """The armed artifact-directory quota (``REPRO_DISK_QUOTA``), or None."""
+    from repro.guard.budget import budget_from_env
+
+    return budget_from_env().disk_mb

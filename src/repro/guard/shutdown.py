@@ -1,0 +1,78 @@
+"""Graceful SIGINT/SIGTERM shutdown for long-running sweeps.
+
+A sweep killed by Ctrl-C used to die with a raw ``KeyboardInterrupt``
+traceback (and SIGTERM, the signal every CI system and container
+runtime actually sends, with no cleanup at all). :func:`graceful_scope`
+installs handlers that convert both into a structured
+:class:`~repro.errors.ShutdownRequested`, which unwinds through the
+executor — every already-completed point is safe in the fsync'd
+:class:`~repro.parallel.journal.SweepJournal` — and is caught at the
+CLI boundary, which prints a ``--resume`` hint and exits with the
+distinct :data:`EXIT_INTERRUPTED` code so wrappers can tell "operator
+stopped it, resumable" apart from "it failed".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+from repro.errors import ShutdownRequested
+
+#: Exit code for an operator-interrupted (and resumable) run: BSD's
+#: ``EX_TEMPFAIL`` — "try again later", which is exactly what
+#: ``--resume`` offers. Distinct from 1 (runs failed) and 2 (usage).
+EXIT_INTERRUPTED = 75
+
+#: Signals converted into :class:`ShutdownRequested`.
+SHUTDOWN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextlib.contextmanager
+def graceful_scope(signals: "tuple" = SHUTDOWN_SIGNALS):
+    """Convert ``signals`` into :class:`ShutdownRequested` for the body.
+
+    Python delivers signal handlers on the main thread, so the raise
+    lands wherever the sweep currently is — typically inside the
+    executor's ``wait()`` — and unwinds normally, running every
+    ``finally`` on the way out. Previous handlers are restored on exit.
+    Outside the main thread (or on platforms without the signal) the
+    scope degrades to a no-op rather than failing: worker processes and
+    test threads can share code paths with the CLI.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = {}
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal handler shape
+        raise ShutdownRequested(signum)
+
+    for sig in signals:
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            continue
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
+def resume_hint(journal_path, argv: "list[str] | None" = None) -> str:
+    """The operator-facing hint printed after a graceful shutdown."""
+    rerun = "--resume"
+    if argv:
+        seen = list(argv)
+        if "--resume" not in seen:
+            seen.append("--resume")
+        rerun = " ".join(["python -m repro"] + seen)
+    return (
+        f"interrupted: completed points are journaled in {journal_path}; "
+        f"rerun with {rerun} to compute only the rest"
+    )

@@ -1,0 +1,196 @@
+"""Sampling resource watchdog, armed per run like the harness deadline.
+
+:func:`guard_scope` arms a :class:`Watchdog` over a
+:class:`~repro.guard.budget.RunBudget` for its ``with`` body; the trace
+engine calls :func:`check_watchdog` every
+:data:`~repro.sim.deadline.CHECK_STRIDE` accesses, right next to its
+deadline check. The mechanism is the same cooperative design as
+:mod:`repro.sim.deadline` — no signals, no threads — so budgets work on
+every platform and inside process-pool workers, and an unarmed check
+costs one global read.
+
+Each check compares wall clock against the budget every time (one
+``monotonic()`` call) and samples RSS at most every
+:data:`RSS_SAMPLE_INTERVAL_S` seconds (reading ``/proc/self/status``
+is three orders of magnitude costlier than a clock read). Crossing a
+limit raises :class:`~repro.errors.BudgetExceeded`; crossing
+:data:`PRESSURE_FRACTION` of a limit without exceeding it records a
+*pressure event*, which :meth:`Watchdog.publish` turns into the
+``stats.guard`` degraded-mode provenance section — published only when
+non-empty, so unpressured runs stay bit-identical to unguarded ones.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+
+from repro.errors import BudgetExceeded
+from repro.guard.budget import RunBudget
+
+#: Minimum wall-clock seconds between two RSS samples.
+RSS_SAMPLE_INTERVAL_S = 0.25
+
+#: Fraction of a budget at which a (non-fatal) pressure event is
+#: recorded for degraded-mode provenance.
+PRESSURE_FRACTION = 0.8
+
+
+def process_rss_mb(pid: "int | str" = "self") -> "float | None":
+    """Current resident-set size of ``pid`` in megabytes.
+
+    Reads ``/proc/<pid>/status`` (Linux); falls back to
+    ``resource.getrusage`` peak RSS for the own process elsewhere.
+    Returns None when neither source is available (the watchdog then
+    skips RSS enforcement rather than guessing).
+    """
+    try:
+        with open(f"/proc/{pid}/status", "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    if pid in ("self", os.getpid()):
+        try:
+            import resource
+
+            peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is KB on Linux, bytes on macOS.
+            if os.uname().sysname == "Darwin":  # pragma: no cover
+                return peak_kb / (1024.0 * 1024.0)
+            return peak_kb / 1024.0
+        except Exception:  # pragma: no cover - platform without resource
+            pass
+    return None
+
+
+class Watchdog:
+    """Samples wall clock and RSS against one :class:`RunBudget`."""
+
+    def __init__(self, budget: RunBudget, now: "float | None" = None) -> None:
+        self.budget = budget
+        self.started = time.monotonic() if now is None else now
+        self.checks = 0
+        self.rss_samples = 0
+        self.rss_peak_mb = 0.0
+        #: Pressure events: (resource, observed, limit) tuples recorded
+        #: when a sample crossed PRESSURE_FRACTION of its budget.
+        self.pressure_events: "list[tuple[str, float, float]]" = []
+        self._next_rss_sample = self.started
+        self._pressured: "set[str]" = set()
+
+    # ------------------------------------------------------------------
+
+    def _pressure(self, resource: str, observed: float, limit: float) -> None:
+        self.pressure_events.append((resource, observed, limit))
+        self._pressured.add(resource)
+
+    def check(self) -> None:
+        """One cooperative sample; raises :class:`BudgetExceeded`."""
+        self.checks += 1
+        now = time.monotonic()
+        budget = self.budget
+        if budget.wall_s is not None:
+            elapsed = now - self.started
+            if elapsed > budget.wall_s:
+                raise BudgetExceeded(
+                    f"run exceeded its {budget.wall_s:g}s wall-clock budget "
+                    f"(elapsed {elapsed:.1f}s)",
+                    resource="wall",
+                    observed=elapsed,
+                    limit=budget.wall_s,
+                )
+            if (
+                elapsed > budget.wall_s * PRESSURE_FRACTION
+                and "wall" not in self._pressured
+            ):
+                self._pressure("wall", elapsed, budget.wall_s)
+        if budget.rss_mb is not None and now >= self._next_rss_sample:
+            self._next_rss_sample = now + RSS_SAMPLE_INTERVAL_S
+            rss = process_rss_mb()
+            if rss is None:
+                return
+            self.rss_samples += 1
+            if rss > self.rss_peak_mb:
+                self.rss_peak_mb = rss
+            if rss > budget.rss_mb:
+                raise BudgetExceeded(
+                    f"run exceeded its {budget.rss_mb:g} MB RSS budget "
+                    f"(observed {rss:.1f} MB)",
+                    resource="rss",
+                    observed=rss,
+                    limit=budget.rss_mb,
+                )
+            if (
+                rss > budget.rss_mb * PRESSURE_FRACTION
+                and "rss" not in self._pressured
+            ):
+                self._pressure("rss", rss, budget.rss_mb)
+
+    # ------------------------------------------------------------------
+
+    def publish(self, stats) -> None:
+        """Attach degraded-mode provenance to ``stats.guard``.
+
+        Published **only** when at least one pressure event was
+        recorded: a guarded run that never came near its budgets dumps
+        statistics bit-identical to an unguarded run, so degraded
+        numbers can never be silently mixed with clean ones.
+        """
+        if not self.pressure_events:
+            return
+        stats.guard = {
+            "budget": self.budget.describe(),
+            "pressure_events": [
+                {
+                    "resource": resource,
+                    "observed": round(observed, 3),
+                    "limit": limit,
+                }
+                for resource, observed, limit in self.pressure_events
+            ],
+            "rss_peak_mb": round(self.rss_peak_mb, 3),
+            "checks": self.checks,
+        }
+
+
+#: The armed watchdog consulted by :func:`check_watchdog`; one per
+#: process, mirroring the single armed deadline of
+#: :mod:`repro.sim.deadline`.
+_ACTIVE: "Watchdog | None" = None
+
+
+@contextlib.contextmanager
+def guard_scope(budget: "RunBudget | None"):
+    """Arm a :class:`Watchdog` over ``budget`` for the ``with`` body.
+
+    A None or unarmed budget (no wall/RSS limit) arms nothing and
+    yields None; :func:`check_watchdog` stays a single global read.
+    Scopes restore the previous watchdog on exit, so they nest — the
+    innermost armed budget wins, which is what a soak harness wrapping
+    an already-budgeted run expects.
+    """
+    global _ACTIVE
+    if budget is None or not budget.armed:
+        yield None
+        return
+    previous = _ACTIVE
+    watchdog = Watchdog(budget)
+    _ACTIVE = watchdog
+    try:
+        yield watchdog
+    finally:
+        _ACTIVE = previous
+
+
+def check_watchdog() -> None:
+    """Sample the armed watchdog, if any (engine-loop hook)."""
+    if _ACTIVE is not None:
+        _ACTIVE.check()
+
+
+def active_watchdog() -> "Watchdog | None":
+    """The currently armed watchdog (tests and provenance hooks)."""
+    return _ACTIVE

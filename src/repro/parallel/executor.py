@@ -41,12 +41,27 @@ Completions can be journaled to a crash-safe
 :class:`~repro.parallel.journal.SweepJournal`; ``resume=True`` skips
 journaled points, so an interrupted sweep recomputes only what is
 genuinely missing.
+
+The executor is also *resource-governed* (see :mod:`repro.guard`): when
+``REPRO_BUDGET_RSS`` or ``REPRO_DISK_QUOTA`` is set, a
+:class:`~repro.guard.backpressure.PressureMonitor` bounds how many
+points are concurrently in flight and shrinks that bound when aggregate
+worker RSS or artifact-disk headroom crosses its high-water mark
+(restoring it once pressure clears). Throttling changes only submission
+timing — results stay bit-identical — and every decision lands in the
+report's ``guard`` section. A SIGINT/SIGTERM arriving mid-sweep (see
+:func:`repro.guard.shutdown.graceful_scope`) kills the pool without
+waiting and propagates; everything already finished is in the fsynced
+journal, so ``--resume`` picks up exactly where the interrupt landed.
+A journal append that fails with a disk-full error degrades the sweep
+to journal-less operation instead of aborting it.
 """
 
 from __future__ import annotations
 
 import builtins
 import os
+import sys
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -61,6 +76,8 @@ from repro.analysis.runner import (
     active_policy,
     harness,
 )
+from repro.errors import ArtifactWriteError, ShutdownRequested
+from repro.guard.backpressure import PressureMonitor, pressure_from_env
 from repro.parallel.journal import SweepJournal
 from repro.parallel.points import SweepPoint, dedupe_points
 from repro.parallel.profiling import RunProfile, SweepSummary, summarize
@@ -68,9 +85,12 @@ from repro.parallel.supervisor import SupervisorPolicy, supervisor_from_env
 from repro.sim.results import RunResult
 from repro.sim.stats import SimStats
 from repro.telemetry import (
+    JsonlSink,
+    Tracer,
     jsonl_trace_enabled,
     merge_snapshots,
     merge_worker_traces,
+    trace_base_path,
 )
 
 
@@ -139,9 +159,13 @@ class SweepReport:
     crashed_points: int = 0
     #: Points satisfied from the sweep journal under ``resume=True``.
     resumed_points: int = 0
+    #: Resource-governance provenance: backpressure throttle decisions
+    #: and journal degradation, published only when something happened
+    #: (empty for clean sweeps, matching the ``stats.guard`` contract).
+    guard: "dict[str, object]" = field(default_factory=dict)
 
     def summary(self) -> SweepSummary:
-        return summarize(self.profiles, self.jobs, self.wall_s)
+        return summarize(self.profiles, self.jobs, self.wall_s, self.guard)
 
     def telemetry(self) -> dict:
         """The merged telemetry snapshot across every result.
@@ -425,6 +449,7 @@ def run_sweep(
     degraded = False
     crashed_points = 0
     resumed_points = 0
+    guard_info: "dict[str, object]" = {}
 
     journaled: "dict[str, dict]" = {}
     if journal is not None:
@@ -435,18 +460,31 @@ def run_sweep(
 
     def finish_point(index, point, result, profile, point_failures) -> None:
         """Record a newly computed point (and journal its completion)."""
+        nonlocal journal
         results[index] = result
         profiles[index] = profile
         indexed_failures.extend((index, f) for f in point_failures)
         if journal is None:
             return
-        if point_failures:
-            last = point_failures[-1]
-            journal.record_failed(
-                point.key(), last.app, last.scheme, last.error, last.attempts
+        try:
+            if point_failures:
+                last = point_failures[-1]
+                journal.record_failed(
+                    point.key(), last.app, last.scheme, last.error,
+                    last.attempts,
+                )
+            else:
+                journal.record_ok(point.key())
+        except ArtifactWriteError as err:
+            # A full disk must not abort a sweep that can still compute:
+            # drop to journal-less operation (results keep flowing; only
+            # --resume fidelity for *this* sweep is lost) and say so.
+            print(
+                f"repro: sweep journal disabled: {err}",
+                file=sys.stderr,
             )
-        else:
-            journal.record_ok(point.key())
+            guard_info["journal_disabled"] = str(err)
+            journal = None
 
     # Resolve journaled points first; only the rest is (re)computed.
     pending: "list[tuple[int, SweepPoint]]" = []
@@ -475,6 +513,7 @@ def run_sweep(
         else:
             pending.append((index, point))
 
+    monitor: "PressureMonitor | None" = None
     if jobs <= 1 or len(pending) <= 1:
         for index, point in pending:
             seen = len(policy.failures)
@@ -491,6 +530,10 @@ def run_sweep(
         queue: "deque[tuple[int, SweepPoint]]" = deque(pending)
         in_flight: "dict" = {}
         pool = None
+        pressure = pressure_from_env(jobs)
+        if pressure is not None:
+            monitor = PressureMonitor(jobs, pressure)
+        artifact_dir = result_cache.cache_dir()
         try:
             while queue or in_flight:
                 if degraded:
@@ -513,7 +556,16 @@ def run_sweep(
                         initializer=_init_worker,
                         initargs=initargs,
                     )
-                while queue:
+                # Backpressure: bound how many points are concurrently
+                # submitted instead of resizing the pool. Results are
+                # keyed by submission index, so throttling only changes
+                # *when* points run, never *what* they compute — a
+                # throttled sweep stays bit-identical to a clean one.
+                effective = jobs
+                if monitor is not None:
+                    worker_pids = list(getattr(pool, "_processes", {}) or {})
+                    effective = monitor.update(worker_pids, artifact_dir)
+                while queue and len(in_flight) < effective:
                     index, point = queue.popleft()
                     future = pool.submit(_run_point, index, point)
                     in_flight[future] = (index, point)
@@ -575,14 +627,42 @@ def run_sweep(
                     degraded = True
                 else:
                     time.sleep(supervisor.backoff_delay(pool_respawns))
+        except (KeyboardInterrupt, ShutdownRequested):
+            # Operator interrupt: every finished point is already
+            # journaled (each append is fsynced), so kill the pool
+            # without waiting on in-flight work and let the interrupt
+            # propagate — the CLI layer prints the --resume hint.
+            if pool is not None:
+                _kill_pool(pool)
+                pool = None
+            raise
         finally:
             # Broken pools were already killed (pool = None above); a
             # surviving pool is healthy, so a waiting shutdown is safe.
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
 
+    if monitor is not None:
+        throttling = monitor.describe()
+        if throttling:
+            guard_info["backpressure"] = throttling
+
     if jsonl_trace_enabled():
         merge_worker_traces()
+        if monitor is not None and monitor.events:
+            # Throttle decisions join the structured trace, so a traced
+            # sweep's timeline shows *why* it slowed down.
+            tracer = Tracer(JsonlSink(trace_base_path()))
+            for event in monitor.events:
+                tracer.emit(
+                    f"guard:{event.action}",
+                    reason=event.reason,
+                    jobs_from=event.jobs_from,
+                    jobs_to=event.jobs_to,
+                    observed=round(event.observed, 3),
+                    limit=round(event.limit, 3),
+                )
+            tracer.close()
 
     # Failure reporting stays deterministic (submission order) no matter
     # which worker finished, crashed, or got salvaged first.
@@ -605,4 +685,5 @@ def run_sweep(
         degraded_serial=degraded,
         crashed_points=crashed_points,
         resumed_points=resumed_points,
+        guard=guard_info,
     )

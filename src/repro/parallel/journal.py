@@ -20,6 +20,8 @@ import json
 import os
 import pathlib
 
+from repro.errors import ArtifactWriteError
+
 
 class SweepJournal:
     """Append-only per-point completion journal for one sweep."""
@@ -85,9 +87,18 @@ class SweepJournal:
         )
 
     def _append(self, record: "dict") -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(record, sort_keys=True) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as err:
+            # A full disk must not masquerade as a crashed sweep: surface
+            # a structured error the executor can downgrade to
+            # journal-less operation (the sweep itself keeps going).
+            raise ArtifactWriteError(
+                f"cannot append to sweep journal {self.path}: {err}",
+                path=str(self.path),
+            ) from err

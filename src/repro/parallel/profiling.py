@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pstats
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,9 @@ class SweepSummary:
     #: parallel speedup.
     cpu_s: float
     slowest: "RunProfile | None"
+    #: Resource-governance provenance of the sweep (backpressure
+    #: throttling, journal degradation); empty for clean sweeps.
+    guard: "dict[str, object]" = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -85,10 +88,28 @@ class SweepSummary:
                 f"({slow.accesses_per_s:,.0f} accesses/s, "
                 f"worker {slow.worker})"
             )
+        throttling = self.guard.get("backpressure")
+        if isinstance(throttling, dict):
+            events = throttling.get("throttle_events") or []
+            lines.append(
+                f"  backpressure: {len(events)} throttle event(s), "
+                f"jobs dipped to {throttling.get('min_effective_jobs')} "
+                f"of {throttling.get('jobs')}"
+            )
+        if self.guard.get("journal_disabled"):
+            lines.append(
+                "  journal: disabled mid-sweep "
+                f"({self.guard['journal_disabled']})"
+            )
         return "\n".join(lines)
 
 
-def summarize(profiles: "list[RunProfile]", jobs: int, wall_s: float) -> SweepSummary:
+def summarize(
+    profiles: "list[RunProfile]",
+    jobs: int,
+    wall_s: float,
+    guard: "dict[str, object] | None" = None,
+) -> SweepSummary:
     """Fold a sweep's :class:`RunProfile` list into a :class:`SweepSummary`."""
     computed = [p for p in profiles if not p.cache_hit and not p.failed]
     slowest = max(computed, key=lambda p: p.wall_s, default=None)
@@ -101,6 +122,7 @@ def summarize(profiles: "list[RunProfile]", jobs: int, wall_s: float) -> SweepSu
         wall_s=wall_s,
         cpu_s=sum(p.wall_s for p in profiles),
         slowest=slowest,
+        guard=dict(guard or {}),
     )
 
 

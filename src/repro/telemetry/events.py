@@ -31,6 +31,9 @@ kind                      emitted from                           extra fields
 ``audit:window``          ``repro.sim.engine``                   ``audits``
 ``audit:violation``       ``repro.sim.engine``                   ``error``
 ``recovery:repair``       ``repro.recovery.manager``             ``action``, ``verified``
+``guard:pressure``        ``repro.guard.watchdog``               ``resource``, ``observed``, ``limit``
+``guard:throttle``        ``repro.guard.backpressure``           ``reason``, ``jobs_from``, ``jobs_to``
+``guard:restore``         ``repro.guard.backpressure``           ``reason``, ``jobs_from``, ``jobs_to``
 ========================  =====================================  ==========================
 
 Serialization is line-oriented JSON (JSONL): one
@@ -59,6 +62,9 @@ EVENT_KINDS: "tuple[str, ...]" = (
     "audit:window",
     "audit:violation",
     "recovery:repair",
+    "guard:pressure",
+    "guard:throttle",
+    "guard:restore",
 )
 
 

@@ -47,7 +47,7 @@ import os
 import zlib
 from pathlib import Path
 
-from repro.errors import TraceError
+from repro.errors import ArtifactWriteError, TraceError
 from repro.types import Access, AccessKind
 
 #: File magic; deliberately distinct from any common archive format.
@@ -151,8 +151,14 @@ class TraceWriter:
             "meta": dict(meta) if meta else {},
         }
         self._tmp = self.path.with_name(self.path.name + ".tmp")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(self._tmp, "wb")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self._tmp, "wb")
+        except OSError as err:
+            raise ArtifactWriteError(
+                f"cannot create trace file {self.path}: {err}",
+                path=str(self.path),
+            ) from err
         try:
             self._file.write(MAGIC)
             self._file.write(CAPTURE_VERSION.to_bytes(2, "big"))
@@ -161,6 +167,15 @@ class TraceWriter:
             )
             self._file.write(len(blob).to_bytes(4, "big"))
             self._file.write(blob)
+        except OSError as err:
+            # Disk full (ENOSPC) and friends: remove the partial temp
+            # file and surface a structured, catchable error instead of
+            # littering ``*.tmp`` next to the target.
+            self._abort()
+            raise ArtifactWriteError(
+                f"cannot write trace file {self.path}: {err}",
+                path=str(self.path),
+            ) from err
         except BaseException:
             self._abort()
             raise
@@ -196,6 +211,12 @@ class TraceWriter:
         try:
             self._file.write(bytes(frame))
             self._file.write(payload)
+        except OSError as err:
+            self._abort()
+            raise ArtifactWriteError(
+                f"cannot write trace file {self.path}: {err}",
+                path=str(self.path),
+            ) from err
         except BaseException:
             self._abort()
             raise
@@ -212,10 +233,17 @@ class TraceWriter:
                 f"{self.num_cores} core frames"
             )
         self._closed = True
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._file.close()
-        os.replace(self._tmp, self.path)
+        try:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            os.replace(self._tmp, self.path)
+        except OSError as err:
+            self._abort()
+            raise ArtifactWriteError(
+                f"cannot finalize trace file {self.path}: {err}",
+                path=str(self.path),
+            ) from err
 
     def _abort(self) -> None:
         self._closed = True
